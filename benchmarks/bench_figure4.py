@@ -1,0 +1,24 @@
+"""Fig. 4: hyper-parameter sensitivity of HybridGNN.
+
+Sweeps the base-embedding dimension d_m, the edge-embedding dimension d_e
+and the number of negative samples n (scaled-down analogues of the paper's
+grids d_m in {64..512}, d_e in {2..128}, n in {1..7}).  Paper finding: the
+model is fairly insensitive, with the middle of each grid (d_m=128, d_e=8,
+n=5 there) near-optimal.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import figure4, render_figure4
+
+
+def test_figure4(benchmark, profile):
+    results = run_once(benchmark, lambda: figure4(profile=profile))
+    print()
+    print(render_figure4(results))
+    for dataset, sweeps in results.items():
+        assert set(sweeps) == {"d_m", "d_e", "n"}
+        for series in sweeps.values():
+            assert all(0 <= roc <= 100 for roc in series.values())

@@ -1,0 +1,22 @@
+"""Fig. 6: recommendation quality by node degree on Taobao.
+
+PR@10 of HybridGNN per degree cluster, per relationship.  Paper finding:
+higher-degree nodes are recommended better under every relationship because
+the samplers find richer metapath-guided neighborhoods for them.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import figure6, render_figure6
+
+
+def test_figure6(benchmark, profile):
+    results = run_once(benchmark, lambda: figure6(profile=profile))
+    print()
+    print(render_figure6(results))
+    relations = [key for key in results if key != "buckets"]
+    assert relations, "expected per-relationship series"
+    for relation in relations:
+        assert len(results[relation]) == len(results["buckets"])

@@ -1,0 +1,24 @@
+"""Table VII: ablation study (F1).
+
+Variants: full model, w/o metapath-level attention, w/o relationship-level
+attention, w/o randomized exploration, w/o hybrid aggregation flows.  Paper
+finding: every ablation loses F1, with randomized exploration and hybrid
+flows mattering most on YouTube/IMDb/Taobao.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.models import ABLATION_VARIANTS
+from repro.experiments.tables import render_table7, table7
+
+
+def test_table7(benchmark, profile):
+    results = run_once(benchmark, lambda: table7(profile=profile))
+    print()
+    print(render_table7(results))
+    assert set(results) == set(ABLATION_VARIANTS)
+    for variant, per_dataset in results.items():
+        for dataset, f1 in per_dataset.items():
+            assert 0 <= f1 <= 100, f"{variant}/{dataset}: F1 {f1}"

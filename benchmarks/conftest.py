@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the paper's tables and figures.  They run under the
+profile named by ``$REPRO_PROFILE`` (default ``smoke``); set
+``REPRO_PROFILE=paper`` for the larger configuration.  Each benchmark runs
+the full experiment exactly once (rounds=1) — these are end-to-end
+regenerations, not micro-benchmarks — and prints the regenerated table so
+the output is directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.profiles import get_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return get_profile()
+
+
+def run_once(benchmark, func):
+    """Execute ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Compare HybridGNN against the paper's baseline families on one dataset.
+
+A scaled-down rendition of Table IV's Taobao column: every model trains on
+the same split and is scored by one evaluator.  Pass a dataset name
+(amazon, youtube, imdb, taobao, kuaishou) as the first argument.
+"""
+
+import sys
+import time
+
+from repro.datasets import load_dataset, split_edges
+from repro.eval import evaluate_link_prediction, evaluate_ranking
+from repro.experiments import get_profile, make_model
+from repro.utils import format_table
+
+MODELS = ["DeepWalk", "node2vec", "LINE", "GCN", "GraphSage",
+          "HAN", "MAGNN", "R-GCN", "GATNE", "HybridGNN"]
+
+
+def main() -> None:
+    dataset_name = sys.argv[1] if len(sys.argv) > 1 else "taobao"
+    profile = get_profile()
+    print(f"dataset={dataset_name}, profile={profile.name}")
+
+    dataset = load_dataset(dataset_name, scale=profile.scale, seed=0)
+    split = split_edges(dataset.graph, rng=1)
+    print(dataset.graph)
+
+    rows = []
+    for name in MODELS:
+        start = time.time()
+        model = make_model(name, profile, seed=0)
+        model.fit(dataset, split)
+        link = evaluate_link_prediction(model, split.test)
+        ranking = evaluate_ranking(
+            model, split.train_graph, split.test, k=10,
+            max_sources=profile.ranking_max_sources,
+        )
+        rows.append([
+            name, link["roc_auc"], link["pr_auc"], link["f1"],
+            ranking["pr_at_k"], ranking["hr_at_k"],
+            f"{time.time() - start:.1f}s",
+        ])
+        print(f"  {name}: ROC-AUC {link['roc_auc']:.2f}")
+
+    print()
+    print(format_table(
+        ["Model", "ROC-AUC", "PR-AUC", "F1", "PR@10", "HR@10", "time"],
+        rows, title=f"Link prediction on {dataset_name} ({profile.name} profile)",
+        float_fmt="{:.3f}",
+    ))
+
+
+if __name__ == "__main__":
+    main()

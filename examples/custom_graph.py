@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Bring your own graph: HybridGNN on a hand-built multiplex network.
+
+Shows the lower-level API a downstream user needs to run HybridGNN on
+their own data instead of the bundled dataset-alikes:
+
+- define a :class:`GraphSchema` and build a graph edge by edge,
+- declare metapath schemes directly (no Table II patterns),
+- save/load the graph in the library's single-file format,
+- train and query relationship-specific embeddings.
+
+The toy domain: a tiny academic network (authors, papers, venues) with
+`writes`-style citation and collaboration relationships.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import HybridGNN, HybridGNNConfig, SkipGramTrainer, TrainerConfig
+from repro.datasets import split_edges
+from repro.datasets.zoo import Dataset
+from repro.graph import (
+    GraphBuilder,
+    GraphSchema,
+    MetapathScheme,
+    compute_statistics,
+    load_graph,
+    save_graph,
+)
+from repro.eval import evaluate_link_prediction
+
+
+def build_academic_graph(rng: np.random.Generator):
+    schema = GraphSchema(
+        node_types=["author", "paper", "venue"],
+        relationships=["writes", "cites"],
+    )
+    builder = GraphBuilder(schema)
+    authors = builder.add_nodes("author", 60)
+    papers = builder.add_nodes("paper", 90)
+    venues = builder.add_nodes("venue", 8)
+
+    # Community structure: authors cluster around venues.
+    venue_of_author = rng.integers(0, len(venues), size=len(authors))
+    venue_of_paper = rng.integers(0, len(venues), size=len(papers))
+
+    for paper_idx, paper in enumerate(papers):
+        community = venue_of_paper[paper_idx]
+        local_authors = authors[venue_of_author == community]
+        pool = local_authors if len(local_authors) >= 2 else authors
+        for author in rng.choice(pool, size=min(3, len(pool)), replace=False):
+            builder.add_edge(int(author), int(paper), "writes")
+
+    for paper_idx, paper in enumerate(papers):
+        community = venue_of_paper[paper_idx]
+        same_venue = papers[venue_of_paper == community]
+        candidates = same_venue[same_venue != paper]
+        if len(candidates) == 0:
+            continue
+        for cited in rng.choice(candidates, size=min(4, len(candidates)),
+                                replace=False):
+            builder.add_edge(int(paper), int(cited), "cites")
+
+    return builder.build()
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    graph = build_academic_graph(rng)
+    stats = compute_statistics(graph)
+    print(graph)
+    print(f"nodes per type: {stats.nodes_per_type}")
+    print(f"edges per relationship: {stats.edges_per_relationship}")
+
+    # Persist and reload — the on-disk format is a single TSV with a header.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "academic.graph"
+        save_graph(graph, path)
+        graph = load_graph(path)
+        print(f"round-tripped through {path.name}: {graph.num_edges} edges")
+
+    # Declare metapath schemes by hand (A-P-A: co-authorship; P-A-P: shared
+    # author; P-P from citations is expressed as a direct scheme).
+    patterns = ("A-P-A", "P-A-P")
+    abbreviations = {"A": "author", "P": "paper", "V": "venue"}
+    dataset = Dataset("academic", graph, patterns, abbreviations)
+
+    split = split_edges(graph, rng=1)
+    schemes = dataset.all_schemes()
+    config = HybridGNNConfig(base_dim=16, edge_dim=8, exploration_depth=2)
+    model = HybridGNN(split.train_graph, schemes, config, rng=2)
+    trainer = SkipGramTrainer(
+        model, schemes, split,
+        TrainerConfig(epochs=5, num_walks=2, walk_length=8, window=3),
+        rng=3,
+    )
+    trainer.fit()
+
+    report = evaluate_link_prediction(model, split.test)
+    for relation, metrics in report.per_relation.items():
+        print(f"{relation}: ROC-AUC {metrics['roc_auc']:.2f}, "
+              f"F1 {metrics['f1']:.2f}")
+
+    # Query embeddings for downstream use (e.g. nearest-neighbor search).
+    author_emb = model.node_embeddings(graph.nodes_of_type("author"), "writes")
+    print(f"author embedding matrix: {author_emb.shape}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Quickstart: train HybridGNN on a Taobao-like multiplex graph.
+
+Walks through the full pipeline on a small e-commerce-style dataset:
+
+1. generate a multiplex heterogeneous graph (users/items under four
+   behaviours, mirroring the paper's Taobao dataset);
+2. split edges 85/5/10 with paired negatives (the paper's protocol);
+3. train HybridGNN with the metapath-walk skip-gram objective;
+4. evaluate link prediction (ROC-AUC / PR-AUC / F1) and top-10
+   recommendation (PR@10 / HR@10) per relationship.
+
+Runs in about a minute on a laptop CPU.
+"""
+
+from repro.core import HybridGNN, HybridGNNConfig, SkipGramTrainer, TrainerConfig
+from repro.datasets import load_dataset, split_edges
+from repro.eval import evaluate_link_prediction, evaluate_ranking
+from repro.utils import format_table
+
+
+def main() -> None:
+    print("== 1. Dataset ==")
+    dataset = load_dataset("taobao", scale=0.4, seed=0)
+    print(dataset.graph)
+    print("Metapath schemes per relationship (Table II):")
+    for relation, schemes in dataset.all_schemes().items():
+        print(f"  {relation}: " + ", ".join(s.describe() for s in schemes))
+
+    print("\n== 2. Split ==")
+    split = split_edges(dataset.graph, rng=1)
+    print(f"train edges: {split.train_graph.num_edges}, "
+          f"test relations: {list(split.test)}")
+
+    print("\n== 3. Train HybridGNN ==")
+    config = HybridGNNConfig(
+        base_dim=32, edge_dim=16, exploration_depth=2, aggregator="mean",
+    )
+    schemes = dataset.all_schemes()
+    model = HybridGNN(split.train_graph, schemes, config, rng=2)
+    print(f"model parameters: {model.num_parameters():,}")
+    trainer = SkipGramTrainer(
+        model, schemes, split,
+        TrainerConfig(epochs=6, num_walks=2, walk_length=8, window=3,
+                      verbose=True),
+        rng=3,
+    )
+    history = trainer.fit()
+    print(f"best validation ROC-AUC: {history.best_val_score:.2f} "
+          f"(epoch {history.best_epoch + 1})")
+
+    print("\n== 4. Evaluate ==")
+    link = evaluate_link_prediction(model, split.test)
+    rows = [
+        [relation, m["roc_auc"], m["pr_auc"], m["f1"]]
+        for relation, m in link.per_relation.items()
+    ]
+    rows.append(["OVERALL", link["roc_auc"], link["pr_auc"], link["f1"]])
+    print(format_table(["Relation", "ROC-AUC", "PR-AUC", "F1"], rows,
+                       title="Link prediction (%)", float_fmt="{:.2f}"))
+
+    ranking = evaluate_ranking(model, split.train_graph, split.test, k=10,
+                               max_sources=50)
+    rows = [
+        [relation, m["pr_at_k"], m["hr_at_k"]]
+        for relation, m in ranking.per_relation.items()
+    ]
+    print()
+    print(format_table(["Relation", "PR@10", "HR@10"], rows,
+                       title="Top-10 recommendation"))
+
+    print("\n== 5. Inspect attention (the paper's Fig. 5 readout) ==")
+    for relation in dataset.graph.schema.relationships:
+        scores = model.metapath_attention_scores(relation, "user", rng=4)
+        pretty = ", ".join(f"{k}={v:.2f}" for k, v in scores.items())
+        print(f"  {relation}: {pretty}")
+
+
+if __name__ == "__main__":
+    main()

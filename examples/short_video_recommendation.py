@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Short-video recommendation on a Kuaishou-like graph (the paper's
+motivating scenario).
+
+Users interact with videos and authors under four relationships (click,
+like, comment, download).  The sparse engagement relationships (download,
+comment) are where inter-relationship information matters most: a user's
+clicks reveal taste that the few download edges cannot.  This example
+
+1. trains HybridGNN on the full multiplex graph,
+2. trains an ablated variant without randomized inter-relationship
+   exploration,
+3. compares them on the sparsest relationship, and
+4. prints concrete top-5 recommendations for a sample user.
+"""
+
+import numpy as np
+
+from repro.core import HybridGNN, HybridGNNConfig, SkipGramTrainer, TrainerConfig
+from repro.datasets import load_dataset, split_edges
+from repro.eval import evaluate_link_prediction
+from repro.utils import format_table
+
+
+def train(dataset, split, use_exploration: bool, seed: int):
+    config = HybridGNNConfig(
+        base_dim=32, edge_dim=16, exploration_depth=2,
+        use_randomized_exploration=use_exploration,
+    )
+    schemes = dataset.all_schemes()
+    model = HybridGNN(split.train_graph, schemes, config, rng=seed)
+    trainer = SkipGramTrainer(
+        model, schemes, split,
+        TrainerConfig(epochs=5, num_walks=2, walk_length=8, window=3),
+        rng=seed + 1,
+    )
+    trainer.fit()
+    return model
+
+
+def main() -> None:
+    dataset = load_dataset("kuaishou", scale=0.35, seed=0)
+    graph = dataset.graph
+    print(graph)
+    split = split_edges(graph, rng=1)
+
+    print("\nTraining HybridGNN (full) ...")
+    full = train(dataset, split, use_exploration=True, seed=10)
+    print("Training HybridGNN w/o randomized exploration ...")
+    ablated = train(dataset, split, use_exploration=False, seed=10)
+
+    rows = []
+    for name, model in [("full", full), ("w/o exploration", ablated)]:
+        report = evaluate_link_prediction(model, split.test)
+        for relation in ("download", "comment", "click"):
+            if relation in report.per_relation:
+                rows.append([name, relation,
+                             report.per_relation[relation]["roc_auc"]])
+    print()
+    print(format_table(
+        ["Model", "Relationship", "ROC-AUC"], rows,
+        title="Inter-relationship exploration helps the sparse relationships",
+        float_fmt="{:.2f}",
+    ))
+
+    # Concrete recommendations: top-5 videos a user is likely to *like*.
+    users = graph.nodes_of_type("user")
+    videos = graph.nodes_of_type("video")
+    user = int(users[0])
+    seen = set(split.train_graph.neighbors(user, "like").tolist())
+    candidates = np.asarray([v for v in videos if int(v) not in seen])
+    user_emb = full.node_embeddings(np.asarray([user]), "like")[0]
+    video_emb = full.node_embeddings(candidates, "like")
+    scores = video_emb @ user_emb
+    top5 = candidates[np.argsort(-scores)[:5]]
+    print(f"\nTop-5 'like' recommendations for user {user}: {top5.tolist()}")
+    truth = {
+        int(v) for v in graph.neighbors(user, "like") if int(v) not in seen
+    }
+    hits = [int(v) for v in top5 if int(v) in truth]
+    print(f"held-out likes of this user: {sorted(truth)} -> hits in top-5: {hits}")
+
+
+if __name__ == "__main__":
+    main()

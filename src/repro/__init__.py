@@ -1,0 +1,64 @@
+"""HybridGNN reproduction: hybrid representation learning for recommendation
+in multiplex heterogeneous networks (Gu et al., ICDE 2022).
+
+Subpackages
+-----------
+``repro.nn``
+    Numpy autograd engine and neural-network layers.
+``repro.graph``
+    Multiplex heterogeneous graph substrate (schemas, metapaths, CSR store).
+``repro.sampling``
+    Walks, randomized inter-relationship exploration, neighbor and negative
+    samplers.
+``repro.datasets``
+    Synthetic generators + the five dataset-alikes and edge splits.
+``repro.core``
+    HybridGNN: hybrid aggregation flows, hierarchical attention, trainer.
+``repro.baselines``
+    The nine compared models, from DeepWalk to GATNE.
+``repro.eval``
+    Metrics and evaluation harnesses (link prediction, top-K, significance).
+``repro.experiments``
+    Table/figure reproduction entry points.
+
+Quickstart
+----------
+>>> from repro.datasets import load_dataset, split_edges
+>>> from repro.core import HybridGNN, HybridGNNConfig, SkipGramTrainer, TrainerConfig
+>>> from repro.eval import evaluate_link_prediction
+>>> ds = load_dataset("taobao", scale=0.3, seed=0)
+>>> split = split_edges(ds.graph, rng=0)
+>>> model = HybridGNN(split.train_graph, ds.all_schemes(), HybridGNNConfig(), rng=0)
+>>> trainer = SkipGramTrainer(model, ds.all_schemes(), split, TrainerConfig(epochs=3), rng=0)
+>>> _ = trainer.fit()
+>>> report = evaluate_link_prediction(model, split.test)
+"""
+
+from repro.errors import (
+    AutogradError,
+    DatasetError,
+    EvaluationError,
+    GraphError,
+    MetapathError,
+    ReproError,
+    SamplingError,
+    SchemaError,
+    ShapeError,
+    TrainingError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "SchemaError",
+    "GraphError",
+    "MetapathError",
+    "SamplingError",
+    "ShapeError",
+    "AutogradError",
+    "TrainingError",
+    "EvaluationError",
+    "DatasetError",
+]

@@ -1,0 +1,25 @@
+"""Graph and embedding analysis utilities."""
+
+from repro.analysis.multiplexity import (
+    MultiplexityProfile,
+    multiplexity_profile,
+    relationship_degree_correlation,
+    relationship_overlap_matrix,
+)
+from repro.analysis.embeddings import (
+    EmbeddingHealth,
+    cross_relation_similarity,
+    embedding_health,
+    neighborhood_alignment,
+)
+
+__all__ = [
+    "MultiplexityProfile",
+    "multiplexity_profile",
+    "relationship_overlap_matrix",
+    "relationship_degree_correlation",
+    "EmbeddingHealth",
+    "embedding_health",
+    "cross_relation_similarity",
+    "neighborhood_alignment",
+]

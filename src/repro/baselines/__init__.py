@@ -1,0 +1,42 @@
+"""The nine baselines of Sect. IV-B, implemented from scratch.
+
+Network embedding: DeepWalk, node2vec, LINE.
+Homogeneous GNNs: GCN, GraphSage.
+Heterogeneous GNNs: HAN, MAGNN.
+Multiplex heterogeneous GNNs: R-GCN, GATNE.
+"""
+
+from repro.baselines.base import BaselineModel, SingleEmbeddingModel
+from repro.baselines.word2vec import SkipGramEmbeddings
+from repro.baselines.deepwalk import DeepWalk
+from repro.baselines.node2vec import Node2Vec
+from repro.baselines.line import LINE
+from repro.baselines.gcn import GCN, normalized_adjacency
+from repro.baselines.graphsage import GraphSage
+from repro.baselines.han import HAN, HANModule
+from repro.baselines.magnn import MAGNN, MAGNNModule
+from repro.baselines.rgcn import RGCN, row_normalized_adjacency
+from repro.baselines.gatne import GATNE, GATNEModule
+from repro.baselines.mne import MNE, MNEModule
+
+__all__ = [
+    "BaselineModel",
+    "SingleEmbeddingModel",
+    "SkipGramEmbeddings",
+    "DeepWalk",
+    "Node2Vec",
+    "LINE",
+    "GCN",
+    "normalized_adjacency",
+    "GraphSage",
+    "HAN",
+    "HANModule",
+    "MAGNN",
+    "MAGNNModule",
+    "RGCN",
+    "row_normalized_adjacency",
+    "GATNE",
+    "GATNEModule",
+    "MNE",
+    "MNEModule",
+]

@@ -1,0 +1,53 @@
+"""Shared baseline interface.
+
+Every baseline (and HybridGNN itself) exposes
+``node_embeddings(nodes, relation) -> np.ndarray`` so one evaluator compares
+all models.  Baselines additionally implement ``fit(dataset, split)``; the
+experiment runner only ever touches these two methods.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.splits import EdgeSplit
+from repro.datasets.zoo import Dataset
+from repro.utils.rng import SeedLike, as_rng
+
+
+class BaselineModel(abc.ABC):
+    """Interface every baseline implements."""
+
+    #: Human-readable model name used in experiment tables.
+    name: str = "baseline"
+
+    def __init__(self, rng: SeedLike = None):
+        self._rng = as_rng(rng)
+
+    @abc.abstractmethod
+    def fit(self, dataset: Dataset, split: EdgeSplit) -> None:
+        """Train on ``split.train_graph`` (``dataset`` supplies schemes)."""
+
+    @abc.abstractmethod
+    def node_embeddings(self, nodes: np.ndarray, relation: str) -> np.ndarray:
+        """Relationship-specific (or shared) node embeddings."""
+
+
+class SingleEmbeddingModel(BaselineModel):
+    """Base for models with one embedding per node, shared across relations.
+
+    Covers the network-embedding and homogeneous/heterogeneous (non-multiplex)
+    baselines: DeepWalk, node2vec, LINE, GCN, GraphSage, HAN, MAGNN.
+    """
+
+    def __init__(self, rng: SeedLike = None):
+        super().__init__(rng)
+        self._embeddings: Optional[np.ndarray] = None
+
+    def node_embeddings(self, nodes: np.ndarray, relation: str) -> np.ndarray:
+        if self._embeddings is None:
+            raise RuntimeError(f"{self.name} has not been fitted")
+        return self._embeddings[np.asarray(nodes, dtype=np.int64)]

@@ -1,0 +1,155 @@
+"""GATNE-T (Cen et al., KDD 2019) for multiplex heterogeneous networks.
+
+Each node has a shared base embedding b_i plus one edge embedding u_{i,r}
+per relationship.  For the target relationship, the relationship's edge
+embedding is aggregated from neighbors inside g_r, all relationships' edge
+embeddings are fused with a softmax self-attention, and the output is
+
+    e_{i,r} = b_i + alpha * M_r U_i a_{i,r}
+
+Trained with the same metapath-walk skip-gram objective as HybridGNN (the
+paper positions HybridGNN as a generalisation of GATNE, so sharing the
+trainer keeps the comparison apples-to-apples).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.baselines.base import BaselineModel
+from repro.core.config import TrainerConfig
+from repro.core.trainer import SkipGramTrainer
+from repro.datasets.splits import EdgeSplit
+from repro.datasets.zoo import Dataset
+from repro.graph.multiplex import MultiplexHeteroGraph
+from repro.nn import init
+from repro.nn.layers import Embedding, Linear
+from repro.nn.module import Module, ModuleDict, Parameter
+from repro.nn.tensor import Tensor, stack
+from repro.sampling.adjacency import sample_uniform_neighbors
+from repro.utils.rng import SeedLike, as_rng, spawn_rng
+
+
+class GATNEModule(Module):
+    """The trainable GATNE-T network (trainer protocol compatible)."""
+
+    def __init__(self, graph: MultiplexHeteroGraph, base_dim: int = 32,
+                 edge_dim: int = 8, attention_dim: int = 8, fanout: int = 5,
+                 num_negatives: int = 5, eval_samples: int = 3,
+                 rng: SeedLike = None):
+        super().__init__()
+        rng = as_rng(rng)
+        self.graph = graph
+        self.relations = list(graph.schema.relationships)
+        self.fanout = fanout
+        self.num_negatives = num_negatives
+        self.eval_samples = eval_samples
+        num_nodes = graph.num_nodes
+
+        self.base = Embedding(num_nodes, base_dim, rng=spawn_rng(rng))
+        self.context = Embedding(num_nodes, base_dim, rng=spawn_rng(rng))
+        # One edge-embedding table per relationship (u_{i, r}).
+        self.edge_embeddings = ModuleDict(
+            {
+                rel: Embedding(num_nodes, edge_dim, rng=spawn_rng(rng))
+                for rel in self.relations
+            }
+        )
+        # Relation-specific attention parameters: a_r = softmax(w_r^T tanh(W_r U)).
+        self.attn_w = {
+            rel: Parameter(init.xavier_uniform((edge_dim, attention_dim), rng=spawn_rng(rng)))
+            for rel in self.relations
+        }
+        self.attn_v = {
+            rel: Parameter(init.xavier_uniform((attention_dim, 1), rng=spawn_rng(rng)))
+            for rel in self.relations
+        }
+        self.transforms = ModuleDict(
+            {
+                rel: Linear(edge_dim, base_dim, bias=False, rng=spawn_rng(rng))
+                for rel in self.relations
+            }
+        )
+        self._csr = {rel: graph.csr(rel) for rel in self.relations}
+        self._rng = spawn_rng(rng)
+        self._cache: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def _aggregated_edge_embedding(self, nodes: np.ndarray, relation: str) -> Tensor:
+        """Mean of neighbors' u_{j,r} inside g_r (GATNE's aggregation)."""
+        indptr, indices = self._csr[relation]
+        neighbors = sample_uniform_neighbors(
+            indptr, indices, nodes, self.fanout, self._rng
+        )  # (B, fanout)
+        neigh_emb = self.edge_embeddings[relation](neighbors)  # (B, f, d_e)
+        return neigh_emb.mean(axis=1)
+
+    def forward(self, nodes: np.ndarray, relation: str) -> Tensor:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        per_relation = [
+            self._aggregated_edge_embedding(nodes, rel) for rel in self.relations
+        ]
+        u = stack(per_relation, axis=1)  # (B, R, d_e)
+        scores = (u @ self.attn_w[relation]).tanh() @ self.attn_v[relation]  # (B, R, 1)
+        weights = scores.squeeze(-1).softmax(axis=-1)  # (B, R)
+        fused = (u * weights.unsqueeze(-1)).sum(axis=1)  # (B, d_e)
+        return self.base(nodes) + self.transforms[relation](fused)
+
+    # ------------------------------------------------------------------
+    def invalidate_cache(self) -> None:
+        self._cache.clear()
+
+    def node_embeddings(self, nodes: np.ndarray, relation: str,
+                        chunk_size: int = 1024) -> np.ndarray:
+        if relation not in self._cache:
+            samples = []
+            for _ in range(self.eval_samples):
+                rows = []
+                for start in range(0, self.graph.num_nodes, chunk_size):
+                    batch = np.arange(
+                        start, min(start + chunk_size, self.graph.num_nodes)
+                    )
+                    rows.append(self.forward(batch, relation).data)
+                samples.append(np.concatenate(rows, axis=0))
+            self._cache[relation] = np.mean(samples, axis=0)
+        return self._cache[relation][np.asarray(nodes, dtype=np.int64)]
+
+
+class GATNE(BaselineModel):
+    """Baseline wrapper: builds, trains and serves a :class:`GATNEModule`."""
+
+    name = "GATNE"
+
+    def __init__(self, base_dim: int = 32, edge_dim: int = 8, fanout: int = 5,
+                 trainer_config: Optional[TrainerConfig] = None,
+                 rng: SeedLike = None):
+        super().__init__(rng)
+        self.base_dim = base_dim
+        self.edge_dim = edge_dim
+        self.fanout = fanout
+        self.trainer_config = trainer_config or TrainerConfig()
+        self._module: Optional[GATNEModule] = None
+
+    def fit(self, dataset: Dataset, split: EdgeSplit) -> None:
+        self._module = GATNEModule(
+            split.train_graph,
+            base_dim=self.base_dim,
+            edge_dim=self.edge_dim,
+            fanout=self.fanout,
+            rng=spawn_rng(self._rng),
+        )
+        trainer = SkipGramTrainer(
+            self._module,
+            dataset.all_schemes(),
+            split,
+            config=self.trainer_config,
+            rng=spawn_rng(self._rng),
+        )
+        trainer.fit()
+
+    def node_embeddings(self, nodes: np.ndarray, relation: str) -> np.ndarray:
+        if self._module is None:
+            raise RuntimeError("GATNE has not been fitted")
+        return self._module.node_embeddings(nodes, relation)

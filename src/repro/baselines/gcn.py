@@ -1,0 +1,96 @@
+"""GCN (Kipf & Welling, ICLR 2017) on the type-erased graph.
+
+Two spectral convolution layers over the symmetrically normalised adjacency
+A_hat = D^{-1/2}(A + I)D^{-1/2} with learnable input embeddings (the graphs
+carry no node features), trained as a link-prediction autoencoder:
+dot-product decoder with binary cross-entropy on training edges against
+corrupted negatives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.baselines.base import SingleEmbeddingModel
+from repro.core.loss import softplus
+from repro.datasets.splits import EdgeSplit
+from repro.datasets.zoo import Dataset
+from repro.errors import TrainingError
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, sparse_matmul
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+def normalized_adjacency(src: np.ndarray, dst: np.ndarray, num_nodes: int) -> sparse.csr_matrix:
+    """D^{-1/2} (A + I) D^{-1/2} for an undirected edge list."""
+    rows = np.concatenate([src, dst, np.arange(num_nodes)])
+    cols = np.concatenate([dst, src, np.arange(num_nodes)])
+    data = np.ones(len(rows))
+    adj = sparse.csr_matrix((data, (rows, cols)), shape=(num_nodes, num_nodes))
+    adj.data = np.ones_like(adj.data)  # collapse parallel edges
+    degrees = np.asarray(adj.sum(axis=1)).reshape(-1)
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(degrees, 1.0))
+    d_mat = sparse.diags(inv_sqrt)
+    return (d_mat @ adj @ d_mat).tocsr()
+
+
+class _GCNEncoder(Module):
+    """features -> A_hat relu(A_hat X W1) W2."""
+
+    def __init__(self, num_nodes: int, dim: int, hidden: int, rng):
+        super().__init__()
+        self.x = Parameter(init.normal((num_nodes, hidden), std=0.1, rng=rng))
+        self.w1 = Parameter(init.xavier_uniform((hidden, hidden), rng=rng))
+        self.w2 = Parameter(init.xavier_uniform((hidden, dim), rng=rng))
+
+    def forward(self, adjacency) -> Tensor:
+        h = sparse_matmul(adjacency, self.x @ self.w1).relu()
+        return sparse_matmul(adjacency, h @ self.w2)
+
+
+class GCN(SingleEmbeddingModel):
+    """Link-prediction GCN autoencoder (heterogeneity ignored)."""
+
+    name = "GCN"
+
+    def __init__(self, dim: int = 32, hidden: int = 32, epochs: int = 40,
+                 learning_rate: float = 0.01, edges_per_epoch: int = 4096,
+                 rng: SeedLike = None):
+        super().__init__(rng)
+        self.dim = dim
+        self.hidden = hidden
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.edges_per_epoch = edges_per_epoch
+
+    def fit(self, dataset: Dataset, split: EdgeSplit) -> None:
+        graph = split.train_graph
+        src, dst = graph.merged_homogeneous_view()
+        if len(src) == 0:
+            raise TrainingError("GCN needs at least one training edge")
+        adjacency = normalized_adjacency(src, dst, graph.num_nodes)
+        encoder = _GCNEncoder(
+            graph.num_nodes, self.dim, self.hidden, spawn_rng(self._rng)
+        )
+        optimizer = Adam(encoder.parameters(), lr=self.learning_rate)
+        rng = self._rng
+
+        for _ in range(self.epochs):
+            take = min(self.edges_per_epoch, len(src))
+            idx = rng.choice(len(src), size=take, replace=False)
+            pos_u, pos_v = src[idx], dst[idx]
+            neg_u = pos_u
+            neg_v = rng.integers(0, graph.num_nodes, size=take)
+
+            embeddings = encoder(adjacency)
+            pos_logit = (embeddings[pos_u] * embeddings[pos_v]).sum(axis=-1)
+            neg_logit = (embeddings[neg_u] * embeddings[neg_v]).sum(axis=-1)
+            loss = softplus(-pos_logit).mean() + softplus(neg_logit).mean()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+
+        self._embeddings = encoder(adjacency).data

@@ -1,0 +1,92 @@
+"""LINE (Tang et al., WWW 2015): first- plus second-order proximity.
+
+First-order proximity trains symmetric embeddings so connected nodes score
+highly; second-order proximity trains a context table so nodes with similar
+neighborhoods embed closely.  As in the original, half the dimensions come
+from each objective and the final embedding is their concatenation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import SingleEmbeddingModel
+from repro.datasets.splits import EdgeSplit
+from repro.datasets.zoo import Dataset
+from repro.errors import TrainingError
+from repro.sampling.negative import UnigramNegativeSampler
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 0.5 * (1.0 + np.tanh(0.5 * x))
+
+
+class LINE(SingleEmbeddingModel):
+    """LINE(1st+2nd) on the homogenised graph."""
+
+    name = "LINE"
+
+    def __init__(self, dim: int = 32, epochs: int = 8, batch_size: int = 256,
+                 num_negatives: int = 5, learning_rate: float = 0.2,
+                 rng: SeedLike = None):
+        super().__init__(rng)
+        if dim % 2 != 0:
+            raise TrainingError("LINE needs an even dim (half per proximity order)")
+        self.dim = dim
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.num_negatives = num_negatives
+        self.learning_rate = learning_rate
+
+    def fit(self, dataset: Dataset, split: EdgeSplit) -> None:
+        graph = split.train_graph
+        src, dst = graph.merged_homogeneous_view()
+        # Undirected edges: train both directions.
+        edges = np.stack(
+            [np.concatenate([src, dst]), np.concatenate([dst, src])], axis=1
+        )
+        if len(edges) == 0:
+            raise TrainingError("LINE needs at least one training edge")
+        half = self.dim // 2
+        rng = self._rng
+        scale = 0.5 / half
+        first = rng.uniform(-scale, scale, size=(graph.num_nodes, half))
+        second = rng.uniform(-scale, scale, size=(graph.num_nodes, half))
+        context = np.zeros((graph.num_nodes, half))
+        sampler = UnigramNegativeSampler(graph, rng=spawn_rng(rng))
+
+        total_steps = max(1, self.epochs * ((len(edges) + self.batch_size - 1) // self.batch_size))
+        step = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(len(edges))
+            for start in range(0, len(edges), self.batch_size):
+                batch = edges[order[start: start + self.batch_size]]
+                lr = self.learning_rate * max(1e-2, 1.0 - step / total_steps)
+                step += 1
+                u, v = batch[:, 0], batch[:, 1]
+                negatives = sampler.sample_like(v, self.num_negatives)
+
+                # First order: sigma(f_u . f_v), negatives against f tables.
+                self._update(first, first, u, v, negatives, lr)
+                # Second order: sigma(s_u . c_v), negatives against context.
+                self._update(second, context, u, v, negatives, lr)
+
+        self._embeddings = np.concatenate([first, second + 0.0], axis=1)
+
+    @staticmethod
+    def _update(table_u: np.ndarray, table_v: np.ndarray, u: np.ndarray,
+                v: np.ndarray, negatives: np.ndarray, lr: float) -> None:
+        vu = table_u[u]
+        vv = table_v[v]
+        vneg = table_v[negatives]
+        pos_sig = _sigmoid(np.einsum("bd,bd->b", vu, vv))
+        neg_sig = _sigmoid(np.einsum("bnd,bd->bn", vneg, vu))
+        g_pos = (pos_sig - 1.0)[:, None]
+        grad_u = g_pos * vv + np.einsum("bnd,bn->bd", vneg, neg_sig)
+        grad_v = g_pos * vu
+        grad_neg = neg_sig[:, :, None] * vu[:, None, :]
+        dim = table_u.shape[1]
+        np.add.at(table_u, u, -lr * grad_u)
+        np.add.at(table_v, v, -lr * grad_v)
+        np.add.at(table_v, negatives.reshape(-1), -lr * grad_neg.reshape(-1, dim))

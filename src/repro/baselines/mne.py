@@ -1,0 +1,107 @@
+"""MNE (Zhang et al., IJCAI 2018): scalable multiplex network embedding.
+
+The approach the paper's Fig. 1(b) depicts and argues against: one *common*
+base embedding per node shared across all relationships, plus a low-dimensional
+relation-specific correction through a learned transform,
+
+    e_{v,r} = b_v + w * X_r^T u_{v,r}
+
+Unlike GATNE there is no neighbor aggregation and no attention — the
+relation-specific part is a free embedding — so MNE captures multiplexity
+but "fails to fully exploit heterogeneity since cross-subgraph information
+and diversity of node types are ignored" (Sect. I).  Included beyond the
+paper's nine baselines because it is the archetype the introduction
+contrasts HybridGNN with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.baselines.base import BaselineModel
+from repro.core.config import TrainerConfig
+from repro.core.trainer import SkipGramTrainer
+from repro.datasets.splits import EdgeSplit
+from repro.datasets.zoo import Dataset
+from repro.graph.multiplex import MultiplexHeteroGraph
+from repro.nn.layers import Embedding, Linear
+from repro.nn.module import Module, ModuleDict
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, as_rng, spawn_rng
+
+
+class MNEModule(Module):
+    """The trainable MNE network (trainer-protocol compatible)."""
+
+    def __init__(self, graph: MultiplexHeteroGraph, base_dim: int = 32,
+                 edge_dim: int = 4, num_negatives: int = 5,
+                 eval_samples: int = 1, rng: SeedLike = None):
+        super().__init__()
+        rng = as_rng(rng)
+        self.graph = graph
+        self.relations = list(graph.schema.relationships)
+        self.num_negatives = num_negatives
+        num_nodes = graph.num_nodes
+        self.base = Embedding(num_nodes, base_dim, rng=spawn_rng(rng))
+        self.context = Embedding(num_nodes, base_dim, rng=spawn_rng(rng))
+        self.edge_embeddings = ModuleDict(
+            {
+                rel: Embedding(num_nodes, edge_dim, rng=spawn_rng(rng))
+                for rel in self.relations
+            }
+        )
+        self.transforms = ModuleDict(
+            {
+                rel: Linear(edge_dim, base_dim, bias=False, rng=spawn_rng(rng))
+                for rel in self.relations
+            }
+        )
+        self._cache: Dict[str, np.ndarray] = {}
+
+    def forward(self, nodes: np.ndarray, relation: str) -> Tensor:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        correction = self.transforms[relation](self.edge_embeddings[relation](nodes))
+        return self.base(nodes) + correction
+
+    # ------------------------------------------------------------------
+    def invalidate_cache(self) -> None:
+        self._cache.clear()
+
+    def node_embeddings(self, nodes: np.ndarray, relation: str) -> np.ndarray:
+        if relation not in self._cache:
+            all_nodes = np.arange(self.graph.num_nodes)
+            self._cache[relation] = self.forward(all_nodes, relation).data
+        return self._cache[relation][np.asarray(nodes, dtype=np.int64)]
+
+
+class MNE(BaselineModel):
+    """Baseline wrapper: common embedding + relation-specific correction."""
+
+    name = "MNE"
+
+    def __init__(self, base_dim: int = 32, edge_dim: int = 4,
+                 trainer_config: Optional[TrainerConfig] = None,
+                 rng: SeedLike = None):
+        super().__init__(rng)
+        self.base_dim = base_dim
+        self.edge_dim = edge_dim
+        self.trainer_config = trainer_config or TrainerConfig()
+        self._module: Optional[MNEModule] = None
+
+    def fit(self, dataset: Dataset, split: EdgeSplit) -> None:
+        self._module = MNEModule(
+            split.train_graph, base_dim=self.base_dim, edge_dim=self.edge_dim,
+            rng=spawn_rng(self._rng),
+        )
+        trainer = SkipGramTrainer(
+            self._module, dataset.all_schemes(), split,
+            config=self.trainer_config, rng=spawn_rng(self._rng),
+        )
+        trainer.fit()
+
+    def node_embeddings(self, nodes: np.ndarray, relation: str) -> np.ndarray:
+        if self._module is None:
+            raise RuntimeError("MNE has not been fitted")
+        return self._module.node_embeddings(nodes, relation)

@@ -1,0 +1,89 @@
+"""Vectorised skip-gram with negative sampling (the word2vec trainer).
+
+The shallow network-embedding baselines (DeepWalk, node2vec) are a random
+walk generator plus exactly this optimisation.  Updates are computed for a
+whole mini-batch with numpy and scattered into the tables with
+``np.add.at`` — no autograd needed, which keeps these baselines fast.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.sampling.negative import UnigramNegativeSampler
+from repro.utils.rng import SeedLike, as_rng
+
+
+class SkipGramEmbeddings:
+    """Input/output embedding tables trained by SGD on (center, context) pairs."""
+
+    def __init__(self, num_nodes: int, dim: int, learning_rate: float = 0.2,
+                 num_negatives: int = 5, rng: SeedLike = None):
+        if dim <= 0 or num_nodes <= 0:
+            raise TrainingError("num_nodes and dim must be positive")
+        self._rng = as_rng(rng)
+        self.dim = dim
+        self.learning_rate = learning_rate
+        self.num_negatives = num_negatives
+        scale = 0.5 / dim
+        self.w_in = self._rng.uniform(-scale, scale, size=(num_nodes, dim))
+        self.w_out = np.zeros((num_nodes, dim))
+
+    @staticmethod
+    def _sigmoid(x: np.ndarray) -> np.ndarray:
+        return 0.5 * (1.0 + np.tanh(0.5 * x))
+
+    def train_batch(self, centers: np.ndarray, contexts: np.ndarray,
+                    negatives: np.ndarray, lr: float) -> float:
+        """One SGD step over a batch; returns the mean loss."""
+        v = self.w_in[centers]                      # (B, d)
+        u_pos = self.w_out[contexts]                # (B, d)
+        u_neg = self.w_out[negatives]               # (B, n, d)
+
+        pos_logit = np.einsum("bd,bd->b", v, u_pos)
+        neg_logit = np.einsum("bnd,bd->bn", u_neg, v)
+        pos_sig = self._sigmoid(pos_logit)
+        neg_sig = self._sigmoid(neg_logit)
+
+        # Gradients of -log sigma(pos) - sum log sigma(-neg).
+        g_pos = (pos_sig - 1.0)[:, None]            # (B, 1)
+        g_neg = neg_sig[:, :, None]                 # (B, n, 1)
+
+        grad_v = g_pos * u_pos + np.einsum("bnd,bn->bd", u_neg, neg_sig)
+        grad_u_pos = g_pos * v
+        grad_u_neg = g_neg * v[:, None, :]
+
+        np.add.at(self.w_in, centers, -lr * grad_v)
+        np.add.at(self.w_out, contexts, -lr * grad_u_pos)
+        np.add.at(
+            self.w_out, negatives.reshape(-1), -lr * grad_u_neg.reshape(-1, self.dim)
+        )
+
+        eps = 1e-10
+        loss = -np.log(pos_sig + eps).mean() - np.log(1.0 - neg_sig + eps).sum(axis=1).mean()
+        return float(loss)
+
+    def train(self, pairs: np.ndarray, negative_sampler: UnigramNegativeSampler,
+              epochs: int = 2, batch_size: int = 256) -> List[float]:
+        """SGD over shuffled ``pairs`` with a linearly decayed learning rate."""
+        if len(pairs) == 0:
+            raise TrainingError("no training pairs")
+        losses: List[float] = []
+        total_steps = max(1, epochs * ((len(pairs) + batch_size - 1) // batch_size))
+        step = 0
+        for _ in range(epochs):
+            order = self._rng.permutation(len(pairs))
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, len(pairs), batch_size):
+                batch = pairs[order[start: start + batch_size]]
+                lr = self.learning_rate * max(1e-2, 1.0 - step / total_steps)
+                negatives = negative_sampler.sample_like(batch[:, 1], self.num_negatives)
+                epoch_loss += self.train_batch(batch[:, 0], batch[:, 1], negatives, lr)
+                batches += 1
+                step += 1
+            losses.append(epoch_loss / max(1, batches))
+        return losses

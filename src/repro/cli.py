@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the dataset-alikes with their Table II statistics.
+``train``
+    Train a model on a dataset-alike, report test metrics, optionally save
+    a checkpoint and an embedding export.
+``evaluate``
+    Score a saved embedding export against a dataset split.
+``recommend``
+    Print top-K recommendations for a node from a saved embedding export.
+``schemes``
+    Enumerate/suggest metapath schemes for a dataset-alike.
+``table`` / ``figure``
+    Regenerate one of the paper's tables or figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import Recommender, export_embeddings, load_embeddings, save_checkpoint
+from repro.datasets import available_datasets, load_dataset, split_edges
+from repro.eval import evaluate_link_prediction, evaluate_ranking
+from repro.experiments import MODEL_NAMES, get_profile, make_model
+from repro.experiments import figures as figures_mod
+from repro.experiments import tables as tables_mod
+from repro.graph import compute_statistics, suggest_schemes
+from repro.utils import format_table
+
+
+def _add_common_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="taobao", choices=available_datasets())
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="dataset size multiplier")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_datasets():
+        dataset = load_dataset(name, scale=args.scale, seed=args.seed)
+        stats = compute_statistics(dataset.graph)
+        rows.append([
+            name, stats.num_nodes, stats.num_edges, stats.num_node_types,
+            stats.num_relationships, ", ".join(dataset.metapath_patterns),
+        ])
+    print(format_table(
+        ["Dataset", "|V|", "|E|", "|O|", "|R|", "Schemes"], rows,
+        title=f"Dataset-alikes (scale={args.scale})",
+    ))
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    profile = get_profile(args.profile)
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    split = split_edges(dataset.graph, rng=args.seed + 10_000)
+    print(dataset.graph)
+    model = make_model(args.model, profile, args.seed)
+    print(f"training {args.model} ({profile.name} profile) ...")
+    model.fit(dataset, split)
+
+    link = evaluate_link_prediction(model, split.test)
+    rows = [
+        [relation, m["roc_auc"], m["pr_auc"], m["f1"]]
+        for relation, m in link.per_relation.items()
+    ]
+    rows.append(["OVERALL", link["roc_auc"], link["pr_auc"], link["f1"]])
+    print(format_table(["Relation", "ROC-AUC", "PR-AUC", "F1"], rows,
+                       title="Test link prediction (%)", float_fmt="{:.2f}"))
+    ranking = evaluate_ranking(
+        model, split.train_graph, split.test, k=args.k,
+        max_sources=profile.ranking_max_sources,
+    )
+    print(format_table(
+        ["Relation", f"PR@{args.k}", f"HR@{args.k}", "NDCG", "MRR"],
+        [
+            [rel, m["pr_at_k"], m["hr_at_k"], m["ndcg_at_k"], m["mrr"]]
+            for rel, m in ranking.per_relation.items()
+        ],
+        title="Test top-K recommendation",
+    ))
+
+    if args.save_embeddings:
+        export_embeddings(
+            model, split.train_graph.num_nodes,
+            split.train_graph.schema.relationships, args.save_embeddings,
+        )
+        print(f"embeddings written to {args.save_embeddings}")
+    if args.save_checkpoint:
+        module = getattr(model, "module", None) or getattr(model, "_module", None)
+        if module is None:
+            print("note: this model kind has no checkpointable module; skipped")
+        else:
+            save_checkpoint(module, args.save_checkpoint)
+            print(f"checkpoint written to {args.save_checkpoint}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    split = split_edges(dataset.graph, rng=args.seed + 10_000)
+    store = load_embeddings(args.embeddings)
+    link = evaluate_link_prediction(store, split.test)
+    rows = [
+        [relation, m["roc_auc"], m["pr_auc"], m["f1"]]
+        for relation, m in link.per_relation.items()
+    ]
+    print(format_table(["Relation", "ROC-AUC", "PR-AUC", "F1"], rows,
+                       title=f"Stored embeddings on {args.dataset}",
+                       float_fmt="{:.2f}"))
+    return 0
+
+
+def cmd_recommend(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    split = split_edges(dataset.graph, rng=args.seed + 10_000)
+    store = load_embeddings(args.embeddings)
+    recommender = Recommender(store, split.train_graph)
+    recs = recommender.recommend(args.node, args.relation, k=args.k)
+    rows = [[rec.node, rec.score] for rec in recs]
+    print(format_table(
+        ["Node", "Score"], rows,
+        title=f"Top-{args.k} {args.relation!r} recommendations for node {args.node}",
+    ))
+    return 0
+
+
+def cmd_schemes(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    relation = args.relation or dataset.graph.schema.relationships[0]
+    suggestions = suggest_schemes(
+        dataset.graph, relation, max_length=args.max_length, top=args.top,
+        rng=args.seed,
+    )
+    rows = [[s.scheme.describe(), s.coverage] for s in suggestions]
+    print(format_table(
+        ["Scheme", "Coverage"], rows,
+        title=f"Suggested metapath schemes for {relation!r} on {args.dataset}",
+    ))
+    return 0
+
+
+_TABLES = {
+    "3": lambda profile: tables_mod.render_link_prediction(
+        tables_mod.table3(profile=profile), "Table III"),
+    "4": lambda profile: tables_mod.render_link_prediction(
+        tables_mod.table4(profile=profile), "Table IV"),
+    "5": lambda profile: tables_mod.render_table5(tables_mod.table5(profile=profile)),
+    "6": lambda profile: tables_mod.render_table6(tables_mod.table6(profile=profile)),
+    "7": lambda profile: tables_mod.render_table7(tables_mod.table7(profile=profile)),
+    "8": lambda profile: tables_mod.render_table8(tables_mod.table8(profile=profile)),
+}
+
+_FIGURES = {
+    "4": lambda profile: figures_mod.render_figure4(figures_mod.figure4(profile=profile)),
+    "5": lambda profile: figures_mod.render_figure5(figures_mod.figure5(profile=profile)),
+    "6": lambda profile: figures_mod.render_figure6(figures_mod.figure6(profile=profile)),
+}
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    profile = get_profile(args.profile)
+    print(_TABLES[args.number](profile))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    profile = get_profile(args.profile)
+    print(_FIGURES[args.number](profile))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HybridGNN reproduction (ICDE 2022) command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="list dataset-alikes and statistics")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_datasets)
+
+    p = sub.add_parser("train", help="train a model and report test metrics")
+    _add_common_dataset_args(p)
+    p.add_argument("--model", default="HybridGNN", choices=MODEL_NAMES)
+    p.add_argument("--profile", default="", help="smoke (default) or paper")
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--save-embeddings", default="", help="path for an .npz export")
+    p.add_argument("--save-checkpoint", default="", help="path for an .npz checkpoint")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("evaluate", help="evaluate a saved embedding export")
+    _add_common_dataset_args(p)
+    p.add_argument("--embeddings", required=True)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("recommend", help="top-K recommendations from an export")
+    _add_common_dataset_args(p)
+    p.add_argument("--embeddings", required=True)
+    p.add_argument("--node", type=int, required=True)
+    p.add_argument("--relation", required=True)
+    p.add_argument("--k", type=int, default=10)
+    p.set_defaults(func=cmd_recommend)
+
+    p = sub.add_parser("schemes", help="suggest metapath schemes")
+    _add_common_dataset_args(p)
+    p.add_argument("--relation", default="")
+    p.add_argument("--max-length", type=int, default=2)
+    p.add_argument("--top", type=int, default=5)
+    p.set_defaults(func=cmd_schemes)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", choices=sorted(_TABLES))
+    p.add_argument("--profile", default="")
+    p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("number", choices=sorted(_FIGURES))
+    p.add_argument("--profile", default="")
+    p.set_defaults(func=cmd_figure)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Configuration dataclasses for HybridGNN and its trainer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import TrainingError
+
+
+@dataclass(frozen=True)
+class HybridGNNConfig:
+    """Hyper-parameters of the HybridGNN model (Sect. III / IV-C).
+
+    Parameters
+    ----------
+    base_dim:
+        d_m — dimension of the base embedding e_v and of the final
+        relationship-specific embedding e*_{v,r}.
+    edge_dim:
+        d_h = d_k — dimension of edge embeddings inside the hybrid
+        aggregation flows and both attention levels.
+    metapath_fanouts:
+        Neighbors sampled per hop of a metapath flow; truncated to each
+        scheme's length (a scheme of length 2 uses the first two entries).
+    exploration_depth:
+        L — depth of the randomized inter-relationship exploration
+        (Table V sweeps this).
+    exploration_fanout:
+        Neighbors sampled per exploration level.
+    aggregator:
+        ``mean`` (the paper's default), ``pool`` or ``lstm``.
+    num_negatives:
+        Negative samples per positive pair in the skip-gram loss.
+    use_metapath_attention / use_relationship_attention /
+    use_randomized_exploration / use_hybrid_flows:
+        Ablation switches matching the four variants of Table VII.  With
+        ``use_hybrid_flows=False`` the metapath-guided flows are replaced by
+        a single untyped random-neighbor aggregation inside each
+        relationship's subgraph.
+    eval_samples:
+        Number of stochastic forward passes averaged when materialising
+        embeddings for evaluation (neighborhood sampling is random; averaging
+        reduces the variance of the cached embeddings).
+    """
+
+    base_dim: int = 32
+    edge_dim: int = 16
+    metapath_fanouts: Tuple[int, ...] = (5, 3, 2, 2, 2, 2)
+    exploration_depth: int = 2
+    exploration_fanout: int = 5
+    aggregator: str = "mean"
+    num_negatives: int = 5
+    use_metapath_attention: bool = True
+    use_relationship_attention: bool = True
+    use_randomized_exploration: bool = True
+    use_hybrid_flows: bool = True
+    random_flow_depth: int = 2
+    eval_samples: int = 3
+
+    def __post_init__(self):
+        if self.base_dim <= 0 or self.edge_dim <= 0:
+            raise TrainingError("embedding dimensions must be positive")
+        if self.exploration_depth < 1:
+            raise TrainingError("exploration_depth must be >= 1")
+        if self.exploration_fanout < 1 or self.random_flow_depth < 1:
+            raise TrainingError("fanouts and depths must be >= 1")
+        if self.num_negatives < 1:
+            raise TrainingError("num_negatives must be >= 1")
+        if not self.metapath_fanouts or any(f < 1 for f in self.metapath_fanouts):
+            raise TrainingError("metapath_fanouts must be positive")
+        if self.aggregator not in ("mean", "pool", "lstm"):
+            raise TrainingError(f"unknown aggregator {self.aggregator!r}")
+        if self.eval_samples < 1:
+            raise TrainingError("eval_samples must be >= 1")
+        if not (self.use_hybrid_flows or self.use_randomized_exploration):
+            raise TrainingError(
+                "at least one of hybrid flows / randomized exploration must be enabled"
+            )
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Training-loop settings (Sect. IV-C)."""
+
+    epochs: int = 20
+    batch_size: int = 256
+    learning_rate: float = 5e-3
+    num_walks: int = 4
+    walk_length: int = 10
+    window: int = 3
+    patience: int = 5
+    max_batches_per_epoch: int = 0  # 0 = no cap; caps epoch cost in smoke runs
+    verbose: bool = False
+
+    def __post_init__(self):
+        if self.epochs < 1:
+            raise TrainingError("epochs must be >= 1")
+        if self.batch_size < 1:
+            raise TrainingError("batch_size must be >= 1")
+        if self.learning_rate <= 0:
+            raise TrainingError("learning_rate must be positive")
+        if self.num_walks < 1 or self.walk_length < 2:
+            raise TrainingError("walk settings must allow at least one hop")
+        if self.window < 1:
+            raise TrainingError("window must be >= 1")
+        if self.patience < 1:
+            raise TrainingError("patience must be >= 1")

@@ -1,0 +1,75 @@
+"""Feature sources for the aggregation flows.
+
+The flows' initial states h^(0) (Eq. 3) are "randomly initialized" in the
+transductive paper setting — a learned per-node table.  For the inductive
+setting the paper sketches ("HybridGNN can leverage the advantages between
+node features and the topological structure of node neighbors",
+Sect. III-G), the initial states come from fixed node features through a
+learnable projection instead.  Both sources expose the same call interface
+as :class:`~repro.nn.layers.Embedding`, so every flow works with either.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.layers import Embedding, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, as_rng
+
+
+class LearnedFeatures(Embedding):
+    """The transductive default: one learned vector per node."""
+
+
+class ProjectedFeatures(Module):
+    """Inductive source: fixed node features through a learnable projection.
+
+    Parameters
+    ----------
+    node_features:
+        Fixed matrix of shape (num_nodes, feature_dim); not trained.
+    out_dim:
+        Dimension of the projected flow inputs (the model's edge_dim).
+    """
+
+    def __init__(self, node_features: np.ndarray, out_dim: int,
+                 rng: SeedLike = None):
+        super().__init__()
+        node_features = np.asarray(node_features, dtype=np.float64)
+        if node_features.ndim != 2:
+            raise TrainingError(
+                f"node_features must be 2-d (num_nodes, dim), got shape "
+                f"{node_features.shape}"
+            )
+        if not np.all(np.isfinite(node_features)):
+            raise TrainingError("node_features contains non-finite values")
+        self.raw = node_features
+        self.num_nodes = node_features.shape[0]
+        self.feature_dim = node_features.shape[1]
+        self.embedding_dim = out_dim
+        self.project = Linear(self.feature_dim, out_dim, rng=as_rng(rng))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        """Project the features of ``indices``; output shape
+        ``indices.shape + (out_dim,)``."""
+        indices = np.asarray(indices, dtype=np.int64)
+        gathered = Tensor(self.raw[indices])
+        return self.project(gathered).tanh()
+
+
+def make_feature_source(num_nodes: int, edge_dim: int,
+                        node_features: np.ndarray = None,
+                        rng: SeedLike = None) -> Module:
+    """Learned table when ``node_features`` is None, projection otherwise."""
+    if node_features is None:
+        return LearnedFeatures(num_nodes, edge_dim, rng=rng)
+    node_features = np.asarray(node_features)
+    if node_features.shape[0] != num_nodes:
+        raise TrainingError(
+            f"node_features covers {node_features.shape[0]} nodes but the "
+            f"graph has {num_nodes}"
+        )
+    return ProjectedFeatures(node_features, edge_dim, rng=rng)

@@ -1,0 +1,179 @@
+"""Hybrid aggregation flows (Sect. III-C, Eqs. 3-5).
+
+A *flow* turns a batch of nodes into edge embeddings by recursively
+aggregating a layered, fixed-fanout neighborhood:
+
+    h^{(k)}_{v|P} = AGG_P(h^{(k-1)}_{v|P}, {h^{(k-1)}_{u|P} : u in N^{K-k+1}_P(v)})
+
+Three flow types share this recursion and differ only in how layers are
+sampled:
+
+- :class:`MetapathFlow` — layers follow a predefined intra-relationship
+  metapath scheme (Eq. 3);
+- :class:`ExplorationFlow` — layers come from the randomized
+  inter-relationship exploration (Eq. 4), with one shared parameter stack;
+- :class:`RandomNeighborFlow` — untyped uniform neighbors inside one
+  relationship's subgraph (the "w/o hybrid aggregation" ablation of
+  Table VII).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.multiplex import MultiplexHeteroGraph
+from repro.graph.schema import MetapathScheme
+from repro.nn.aggregators import make_aggregator
+from repro.nn.layers import Embedding
+from repro.nn.module import Module, ModuleList
+from repro.nn.tensor import Tensor
+from repro.sampling.adjacency import TypedAdjacencyCache, sample_uniform_neighbors
+from repro.sampling.exploration import RandomizedExploration
+from repro.sampling.neighbor_sampler import MetapathNeighborSampler
+from repro.utils.rng import SeedLike, as_rng, spawn_rng
+
+
+def aggregate_layers(
+    layers: Sequence[np.ndarray],
+    fanouts: Sequence[int],
+    features: Embedding,
+    aggregators: ModuleList,
+) -> Tensor:
+    """Collapse layered neighborhoods into one embedding per batch node.
+
+    ``layers[j]`` holds node ids of shape (B, prod(fanouts[:j])); sweep k
+    collapses the deepest remaining layer into its parents using
+    ``aggregators[k]``, realising the recursion of Eq. 3.  Returns (B, d).
+    """
+    batch = len(layers[0])
+    depth = len(layers) - 1
+    assert len(aggregators) == depth, "one aggregator per sweep"
+    embeddings = [features(layer.reshape(batch, -1)) for layer in layers]
+    for k in range(depth):
+        aggregator = aggregators[k]
+        collapsed = []
+        for j in range(len(embeddings) - 1):
+            parent = embeddings[j]
+            child = embeddings[j + 1]
+            group = parent.shape[1]
+            fanout = fanouts[j]
+            parent_flat = parent.reshape(batch * group, -1)
+            child_grouped = child.reshape(batch * group, fanout, -1)
+            out = aggregator(parent_flat, child_grouped)
+            collapsed.append(out.reshape(batch, group, -1))
+        embeddings = collapsed
+    return embeddings[0].reshape(batch, -1)
+
+
+class MetapathFlow(Module):
+    """One aggregation flow guided by a predefined metapath scheme."""
+
+    def __init__(self, graph: MultiplexHeteroGraph, scheme: MetapathScheme,
+                 features: Embedding, edge_dim: int, fanouts: Sequence[int],
+                 aggregator: str = "mean", rng: SeedLike = None,
+                 adjacency: Optional[TypedAdjacencyCache] = None):
+        super().__init__()
+        rng = as_rng(rng)
+        self.scheme = scheme
+        self.fanouts = list(fanouts)[: len(scheme)]
+        if len(self.fanouts) < len(scheme):
+            raise ValueError(
+                f"scheme {scheme.describe()} needs {len(scheme)} fanouts, "
+                f"got {len(self.fanouts)}"
+            )
+        self._features = features
+        self._sampler = MetapathNeighborSampler(
+            graph, scheme, self.fanouts, rng=spawn_rng(rng), adjacency=adjacency
+        )
+        self.aggregators = ModuleList(
+            [
+                make_aggregator(aggregator, edge_dim, edge_dim, rng=spawn_rng(rng))
+                for _ in range(len(scheme))
+            ]
+        )
+
+    @property
+    def label(self) -> str:
+        """Short identifier used when reading out attention scores."""
+        return "-".join(t[0].upper() for t in self.scheme.node_types)
+
+    @property
+    def start_type(self) -> str:
+        return self.scheme.start_type
+
+    def forward(self, nodes: np.ndarray) -> Tensor:
+        layers = self._sampler.sample_layers(nodes)
+        return aggregate_layers(layers, self.fanouts, self._features, self.aggregators)
+
+
+class ExplorationFlow(Module):
+    """The P_rand flow fed by randomized inter-relationship exploration.
+
+    One instance (one parameter stack) is shared across relationships,
+    matching the paper's "learnable weights are shared among the randomized
+    sample neighbors".
+    """
+
+    label = "random"
+
+    def __init__(self, graph: MultiplexHeteroGraph, features: Embedding,
+                 edge_dim: int, depth: int, fanout: int,
+                 aggregator: str = "mean", rng: SeedLike = None):
+        super().__init__()
+        rng = as_rng(rng)
+        self.depth = depth
+        self.fanouts = [fanout] * depth
+        self._features = features
+        self._exploration = RandomizedExploration(graph, rng=spawn_rng(rng))
+        self.aggregators = ModuleList(
+            [
+                make_aggregator(aggregator, edge_dim, edge_dim, rng=spawn_rng(rng))
+                for _ in range(depth)
+            ]
+        )
+
+    def forward(self, nodes: np.ndarray) -> Tensor:
+        layers = self._exploration.sample_layers(nodes, self.depth, self.fanouts)
+        return aggregate_layers(layers, self.fanouts, self._features, self.aggregators)
+
+
+class RandomNeighborFlow(Module):
+    """Untyped uniform-neighbor aggregation inside one relationship.
+
+    Used by the "w/o hybrid aggregation flows" ablation: metapath guidance is
+    replaced by plain random sampling aggregation in g_r.
+    """
+
+    label = "random-neighbor"
+
+    def __init__(self, graph: MultiplexHeteroGraph, relation: str,
+                 features: Embedding, edge_dim: int, depth: int, fanout: int,
+                 aggregator: str = "mean", rng: SeedLike = None):
+        super().__init__()
+        rng = as_rng(rng)
+        self.relation = relation
+        self.depth = depth
+        self.fanouts = [fanout] * depth
+        self._features = features
+        self._indptr, self._indices = graph.csr(relation)
+        self._rng = spawn_rng(rng)
+        self.aggregators = ModuleList(
+            [
+                make_aggregator(aggregator, edge_dim, edge_dim, rng=spawn_rng(rng))
+                for _ in range(depth)
+            ]
+        )
+
+    def forward(self, nodes: np.ndarray) -> Tensor:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        layers = [nodes]
+        frontier = nodes
+        for fanout in self.fanouts:
+            sampled = sample_uniform_neighbors(
+                self._indptr, self._indices, frontier.reshape(-1), fanout, self._rng
+            )
+            frontier = sampled.reshape(len(nodes), -1)
+            layers.append(frontier)
+        return aggregate_layers(layers, self.fanouts, self._features, self.aggregators)

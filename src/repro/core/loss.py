@@ -1,0 +1,52 @@
+"""Skip-gram objective with heterogeneous negative sampling (Eq. 13).
+
+    L = -log sigma(c_j . e*_{v_i, r})
+        - sum_k E_{v_k ~ P_Neg}[ log sigma(-c_k . e*_{v_i, r}) ]
+
+where c are context embeddings and negatives are drawn from the degree^0.75
+unigram distribution restricted to the context node's type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Embedding
+from repro.nn.tensor import Tensor, where
+
+
+def softplus(x: Tensor) -> Tensor:
+    """Numerically stable softplus: max(x, 0) + log(1 + exp(-|x|)).
+
+    Note -log(sigmoid(x)) == softplus(-x), which is how the loss below is
+    phrased.
+    """
+    abs_x = where(x.data > 0, x, -x)
+    return x.relu() + ((-abs_x).exp() + 1.0).log()
+
+
+def skip_gram_loss(
+    target_embeddings: Tensor,
+    context_table: Embedding,
+    contexts: np.ndarray,
+    negatives: np.ndarray,
+) -> Tensor:
+    """Mean skip-gram negative-sampling loss over a batch.
+
+    Parameters
+    ----------
+    target_embeddings:
+        e*_{v_i, r} of shape (B, d) — the model output for the batch centers.
+    context_table:
+        The context embedding table (c vectors).
+    contexts:
+        Positive context node ids, shape (B,).
+    negatives:
+        Negative node ids, shape (B, n).
+    """
+    positive = context_table(contexts)  # (B, d)
+    pos_logits = (target_embeddings * positive).sum(axis=-1)  # (B,)
+    negative = context_table(negatives)  # (B, n, d)
+    neg_logits = (negative @ target_embeddings.unsqueeze(-1)).squeeze(-1)  # (B, n)
+    loss = softplus(-pos_logits).mean() + softplus(neg_logits).sum(axis=-1).mean()
+    return loss

@@ -1,0 +1,328 @@
+"""The HybridGNN model (Sect. III, Algorithm 1).
+
+For a batch of nodes and a target relationship r_l the forward pass:
+
+1. runs the hybrid aggregation flows of every relationship — the predefined
+   intra-relationship metapath flows of PS_r plus the shared randomized
+   inter-relationship exploration flow (Eqs. 3-5);
+2. fuses each relationship's flows with metapath-level attention and mean
+   pooling (Eqs. 6-7), giving \\hat h_{v, r};
+3. fuses the per-relationship embeddings with relationship-level attention
+   (Eqs. 8-9), giving the local edge embedding e_{v, r_l};
+4. outputs  e*_{v, r_l} = e_v + e_{v, r_l} W_{r_l}  (Eq. 10).
+
+The four ablation switches of Table VII are honoured via
+:class:`~repro.core.config.HybridGNNConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.core.config import HybridGNNConfig
+from repro.core.features import make_feature_source
+from repro.core.hierarchical_attention import (
+    MetapathLevelAttention,
+    RelationshipLevelAttention,
+)
+from repro.core.hybrid_aggregation import (
+    ExplorationFlow,
+    MetapathFlow,
+    RandomNeighborFlow,
+)
+from repro.graph.multiplex import MultiplexHeteroGraph
+from repro.graph.schema import MetapathScheme
+from repro.nn.layers import Embedding, Linear
+from repro.nn.module import Module, ModuleDict, ModuleList
+from repro.nn.tensor import Tensor, concat
+from repro.sampling.adjacency import TypedAdjacencyCache
+from repro.utils.rng import SeedLike, as_rng, spawn_rng
+
+
+class HybridGNN(Module):
+    """End-to-end GNN for recommendation in multiplex heterogeneous networks.
+
+    Parameters
+    ----------
+    graph:
+        The (training) multiplex heterogeneous graph.
+    schemes_by_relation:
+        PS_r for every relationship: the predefined intra-relationship
+        metapath schemes (Table II).  Only schemes whose start type matches a
+        node's type apply to that node (the rho(v) ∩ PS_r of Eq. 3).
+    config:
+        Model hyper-parameters and ablation switches.
+    """
+
+    def __init__(
+        self,
+        graph: MultiplexHeteroGraph,
+        schemes_by_relation: Dict[str, List[MetapathScheme]],
+        config: HybridGNNConfig = HybridGNNConfig(),
+        rng: SeedLike = None,
+        node_features: Optional[np.ndarray] = None,
+    ):
+        super().__init__()
+        rng = as_rng(rng)
+        self.graph = graph
+        self.config = config
+        self.relations = list(graph.schema.relationships)
+        missing = set(self.relations) - set(schemes_by_relation)
+        if config.use_hybrid_flows and missing:
+            raise TrainingError(f"no metapath schemes given for relationships {sorted(missing)}")
+
+        num_nodes = graph.num_nodes
+        self.base = Embedding(num_nodes, config.base_dim, rng=spawn_rng(rng))
+        # Flow inputs h^(0): a learned table (transductive, the paper's
+        # experiments) or projected fixed node features (inductive setting).
+        self.features = make_feature_source(
+            num_nodes, config.edge_dim, node_features=node_features,
+            rng=spawn_rng(rng),
+        )
+        self.context = Embedding(num_nodes, config.base_dim, rng=spawn_rng(rng))
+
+        adjacency = TypedAdjacencyCache(graph)
+        self.flows = ModuleDict()
+        for relation in self.relations:
+            if config.use_hybrid_flows:
+                flow_list = []
+                for scheme in schemes_by_relation[relation]:
+                    scheme.validate(graph.schema)
+                    flow_list.append(
+                        MetapathFlow(
+                            graph,
+                            scheme,
+                            self.features,
+                            config.edge_dim,
+                            config.metapath_fanouts,
+                            aggregator=config.aggregator,
+                            rng=spawn_rng(rng),
+                            adjacency=adjacency,
+                        )
+                    )
+                self.flows[relation] = ModuleList(flow_list)
+            else:
+                self.flows[relation] = ModuleList(
+                    [
+                        RandomNeighborFlow(
+                            graph,
+                            relation,
+                            self.features,
+                            config.edge_dim,
+                            depth=config.random_flow_depth,
+                            fanout=config.exploration_fanout,
+                            aggregator=config.aggregator,
+                            rng=spawn_rng(rng),
+                        )
+                    ]
+                )
+
+        self.exploration_flow: Optional[ExplorationFlow] = None
+        if config.use_randomized_exploration:
+            self.exploration_flow = ExplorationFlow(
+                graph,
+                self.features,
+                config.edge_dim,
+                depth=config.exploration_depth,
+                fanout=config.exploration_fanout,
+                aggregator=config.aggregator,
+                rng=spawn_rng(rng),
+            )
+
+        self.metapath_attention = ModuleDict(
+            {
+                relation: MetapathLevelAttention(
+                    config.edge_dim,
+                    enabled=config.use_metapath_attention,
+                    rng=spawn_rng(rng),
+                )
+                for relation in self.relations
+            }
+        )
+        self.relationship_attention = RelationshipLevelAttention(
+            config.edge_dim,
+            enabled=config.use_relationship_attention,
+            rng=spawn_rng(rng),
+        )
+        self.output_transforms = ModuleDict(
+            {
+                relation: Linear(
+                    config.edge_dim, config.base_dim, bias=False, rng=spawn_rng(rng)
+                )
+                for relation in self.relations
+            }
+        )
+        # Projection used only for nodes with no applicable flow at all.
+        self.self_projection = Linear(
+            config.edge_dim, config.edge_dim, bias=False, rng=spawn_rng(rng)
+        )
+
+        self._embedding_cache: Dict[str, np.ndarray] = {}
+
+    @property
+    def num_negatives(self) -> int:
+        """Negatives per positive pair (trainer protocol)."""
+        return self.config.num_negatives
+
+    # ------------------------------------------------------------------
+    # Forward pieces
+    # ------------------------------------------------------------------
+    def _metapath_flows(self, relation: str, node_type: str) -> List[Module]:
+        """Relation-specific flows usable for nodes of ``node_type``."""
+        flows: List[Module] = []
+        for flow in self.flows[relation]:
+            if isinstance(flow, MetapathFlow):
+                if flow.start_type == node_type:
+                    flows.append(flow)
+            else:
+                flows.append(flow)
+        return flows
+
+    def _group_embedding(self, nodes: np.ndarray, relation: str, node_type: str,
+                         exploration: Optional[Tensor] = None) -> Tensor:
+        """\\hat h_{v, r} for a batch of same-typed nodes (Eqs. 3-7).
+
+        ``exploration`` is the P_rand flow output for these nodes; it is
+        computed once per batch by the caller because it does not depend on
+        the relationship.
+        """
+        flows = self._metapath_flows(relation, node_type)
+        flow_embeddings = [flow(nodes) for flow in flows]
+        if exploration is not None:
+            flow_embeddings.append(exploration)
+        if not flow_embeddings:
+            flow_embeddings = [self.self_projection(self.features(nodes)).relu()]
+        return self.metapath_attention[relation](flow_embeddings)
+
+    def relation_embedding(self, nodes: np.ndarray, relation: str,
+                           exploration: Optional[Tensor] = None) -> Tensor:
+        """\\hat h_{v, r} for a mixed-type batch; shape (B, edge_dim)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if exploration is None and self.exploration_flow is not None:
+            exploration = self.exploration_flow(nodes)
+        codes = self.graph.node_type_codes[nodes]
+        unique_codes = np.unique(codes)
+        if len(unique_codes) == 1:
+            node_type = self.graph.schema.node_types[int(unique_codes[0])]
+            return self._group_embedding(nodes, relation, node_type, exploration)
+        pieces: List[Tensor] = []
+        positions: List[np.ndarray] = []
+        for code in unique_codes:
+            node_type = self.graph.schema.node_types[int(code)]
+            idx = np.flatnonzero(codes == code)
+            group_exploration = exploration[idx] if exploration is not None else None
+            pieces.append(
+                self._group_embedding(nodes[idx], relation, node_type, group_exploration)
+            )
+            positions.append(idx)
+        combined = concat(pieces, axis=0)
+        order = np.concatenate(positions)
+        inverse = np.empty_like(order)
+        inverse[order] = np.arange(len(order))
+        return combined[inverse]
+
+    def forward(self, nodes: np.ndarray, relation: str) -> Tensor:
+        """e*_{v, r} for every v in ``nodes``; shape (B, base_dim)."""
+        if relation not in self.relations:
+            raise TrainingError(f"unknown relationship {relation!r}")
+        nodes = np.asarray(nodes, dtype=np.int64)
+        # The exploration flow is relation-independent (Eq. 4): sample and
+        # aggregate it once per batch, shared by every relationship.
+        exploration = (
+            self.exploration_flow(nodes) if self.exploration_flow is not None else None
+        )
+        if self.config.use_relationship_attention and len(self.relations) > 1:
+            per_relation = [
+                self.relation_embedding(nodes, rel, exploration)
+                for rel in self.relations
+            ]
+            fused = self.relationship_attention(per_relation)  # (B, R, d)
+            local = fused[:, self.relations.index(relation), :]
+        else:
+            local = self.relation_embedding(nodes, relation, exploration)
+        return self.base(nodes) + self.output_transforms[relation](local)
+
+    # ------------------------------------------------------------------
+    # Evaluation interface
+    # ------------------------------------------------------------------
+    def invalidate_cache(self) -> None:
+        """Drop cached embeddings (call after any parameter update)."""
+        self._embedding_cache.clear()
+
+    def node_embeddings(self, nodes: np.ndarray, relation: str,
+                        chunk_size: int = 512) -> np.ndarray:
+        """Relationship-specific embeddings for evaluation (cached).
+
+        The first call per relationship embeds the whole graph once; later
+        calls are array lookups.  Sampling noise is averaged out by the
+        attention pooling, and freezing one sample per eval matches how the
+        paper evaluates.
+        """
+        if relation not in self._embedding_cache:
+            was_training = self.training
+            self.eval()
+            samples = []
+            for _ in range(self.config.eval_samples):
+                rows = []
+                for start in range(0, self.graph.num_nodes, chunk_size):
+                    batch = np.arange(
+                        start, min(start + chunk_size, self.graph.num_nodes)
+                    )
+                    rows.append(self.forward(batch, relation).data)
+                samples.append(np.concatenate(rows, axis=0))
+            self._embedding_cache[relation] = np.mean(samples, axis=0)
+            self.train(was_training)
+        return self._embedding_cache[relation][np.asarray(nodes, dtype=np.int64)]
+
+    # ------------------------------------------------------------------
+    # Introspection (Fig. 5 case study)
+    # ------------------------------------------------------------------
+    def metapath_attention_scores(
+        self, relation: str, node_type: str, sample_size: int = 64,
+        rng: SeedLike = None,
+    ) -> Dict[str, float]:
+        """Average metapath-level attention mass per flow label.
+
+        Runs a forward pass over a sample of ``node_type`` nodes and reads
+        out the attention matrix, reproducing the Fig. 5 readout.
+        """
+        rng = as_rng(rng)
+        candidates = self.graph.nodes_of_type(node_type)
+        if len(candidates) == 0:
+            raise TrainingError(f"graph has no {node_type!r} nodes")
+        size = min(sample_size, len(candidates))
+        nodes = rng.choice(candidates, size=size, replace=False)
+        flows = self._metapath_flows(relation, node_type)
+        exploration = (
+            self.exploration_flow(nodes) if self.exploration_flow is not None else None
+        )
+        self._group_embedding(nodes, relation, node_type, exploration)
+        importance = self.metapath_attention[relation].last_flow_importance
+        labels = [flow.label for flow in flows]
+        if exploration is not None:
+            labels.append(self.exploration_flow.label)
+        if not labels:
+            labels = ["self"]
+        return {
+            label: float(score) for label, score in zip(labels, importance)
+        }
+
+    def relationship_attention_scores(
+        self, sample_size: int = 64, rng: SeedLike = None
+    ) -> Dict[str, float]:
+        """Average relationship-level attention mass per relationship."""
+        rng = as_rng(rng)
+        nodes = rng.choice(
+            self.graph.num_nodes, size=min(sample_size, self.graph.num_nodes),
+            replace=False,
+        )
+        per_relation = [self.relation_embedding(nodes, rel) for rel in self.relations]
+        self.relationship_attention(per_relation)
+        importance = self.relationship_attention.last_relation_importance
+        return {
+            relation: float(score)
+            for relation, score in zip(self.relations, importance)
+        }

@@ -1,0 +1,109 @@
+"""Saving and restoring trained models.
+
+Two artifact kinds:
+
+- **Checkpoints** (``save_checkpoint``/``load_checkpoint_into``): the full
+  parameter state of a :class:`~repro.nn.module.Module`, restorable into a
+  freshly constructed model of the same architecture.
+- **Embedding exports** (``export_embeddings``/``load_embeddings``): the
+  materialised relationship-specific embedding matrices, which is all a
+  downstream serving system needs.
+
+Both use ``numpy.savez_compressed`` — a single portable file, no pickle.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.eval.link_prediction import RelationEmbedder
+from repro.nn.module import Module
+
+_META_KEY = "__meta__"
+
+
+def save_checkpoint(model: Module, path: Union[str, Path]) -> None:
+    """Write every parameter of ``model`` to ``path`` (.npz)."""
+    state = model.state_dict()
+    meta = json.dumps({"format": "repro-checkpoint", "version": 1,
+                       "parameters": sorted(state)})
+    np.savez_compressed(Path(path), **state, **{_META_KEY: np.asarray(meta)})
+
+
+def load_checkpoint_into(model: Module, path: Union[str, Path]) -> None:
+    """Restore parameters saved by :func:`save_checkpoint` into ``model``.
+
+    The model must have the same architecture (same parameter names and
+    shapes) as the one that was saved.
+    """
+    with np.load(Path(path), allow_pickle=False) as data:
+        if _META_KEY not in data:
+            raise ReproError(f"{path} is not a repro checkpoint")
+        meta = json.loads(str(data[_META_KEY]))
+        if meta.get("format") != "repro-checkpoint":
+            raise ReproError(f"{path} is not a repro checkpoint")
+        state = {key: data[key] for key in data.files if key != _META_KEY}
+    model.load_state_dict(state)
+
+
+def export_embeddings(model: RelationEmbedder, num_nodes: int,
+                      relations: Sequence[str], path: Union[str, Path]) -> None:
+    """Materialise and save per-relationship embedding matrices."""
+    nodes = np.arange(num_nodes)
+    arrays: Dict[str, np.ndarray] = {
+        relation: model.node_embeddings(nodes, relation) for relation in relations
+    }
+    meta = json.dumps({"format": "repro-embeddings", "version": 1,
+                       "num_nodes": num_nodes, "relations": list(relations)})
+    np.savez_compressed(Path(path), **arrays, **{_META_KEY: np.asarray(meta)})
+
+
+class EmbeddingStore:
+    """Read-only relationship-specific embeddings loaded from disk.
+
+    Satisfies the ``RelationEmbedder`` protocol, so it can be dropped into
+    the evaluators and the :class:`~repro.core.recommender.Recommender` in
+    place of a live model.
+    """
+
+    def __init__(self, tables: Dict[str, np.ndarray]):
+        if not tables:
+            raise ReproError("embedding store requires at least one relation")
+        sizes = {table.shape[0] for table in tables.values()}
+        if len(sizes) != 1:
+            raise ReproError("all relations must cover the same node count")
+        self.tables = tables
+        self.num_nodes = sizes.pop()
+
+    @property
+    def relations(self):
+        return list(self.tables)
+
+    def node_embeddings(self, nodes: np.ndarray, relation: str) -> np.ndarray:
+        try:
+            table = self.tables[relation]
+        except KeyError:
+            raise ReproError(
+                f"no embeddings stored for relationship {relation!r}; "
+                f"available: {self.relations}"
+            ) from None
+        return table[np.asarray(nodes, dtype=np.int64)]
+
+
+def load_embeddings(path: Union[str, Path]) -> EmbeddingStore:
+    """Load an export written by :func:`export_embeddings`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        if _META_KEY not in data:
+            raise ReproError(f"{path} is not a repro embedding export")
+        meta = json.loads(str(data[_META_KEY]))
+        if meta.get("format") != "repro-embeddings":
+            raise ReproError(f"{path} is not a repro embedding export")
+        tables = {
+            relation: data[relation] for relation in meta["relations"]
+        }
+    return EmbeddingStore(tables)

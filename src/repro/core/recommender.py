@@ -1,0 +1,123 @@
+"""High-level recommendation interface over a trained relation embedder.
+
+Wraps any model satisfying the :class:`~repro.eval.link_prediction.
+RelationEmbedder` protocol (HybridGNN or any baseline) into the operation a
+recommender system actually serves: "top-K candidates for this node under
+this relationship", with training edges filtered out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.eval.link_prediction import RelationEmbedder
+from repro.graph.multiplex import MultiplexHeteroGraph
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One scored candidate."""
+
+    node: int
+    score: float
+
+
+class Recommender:
+    """Top-K recommendation service over a trained model.
+
+    Parameters
+    ----------
+    model:
+        Anything with ``node_embeddings(nodes, relation)``.
+    graph:
+        The *training* graph: its edges define what the user has already
+        interacted with (excluded from recommendations) and its node types
+        define candidate pools.
+    """
+
+    def __init__(self, model: RelationEmbedder, graph: MultiplexHeteroGraph):
+        self.model = model
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    def candidates(self, source: int, relation: str,
+                   target_type: Optional[str] = None,
+                   exclude_known: bool = True) -> np.ndarray:
+        """The candidate pool for ``source`` under ``relation``.
+
+        Defaults to every node of ``target_type`` (inferred from the source's
+        existing neighbors when omitted) minus the source itself and, when
+        ``exclude_known``, its current neighbors.
+        """
+        if target_type is None:
+            neighbors = self.graph.neighbors(source, relation)
+            if len(neighbors) == 0:
+                raise EvaluationError(
+                    f"node {source} has no {relation!r} neighbors; pass "
+                    "target_type explicitly"
+                )
+            target_type = self.graph.node_type(int(neighbors[0]))
+        pool = self.graph.nodes_of_type(target_type)
+        banned = {source}
+        if exclude_known:
+            banned.update(self.graph.neighbors(source, relation).tolist())
+        keep = np.fromiter(
+            (int(c) not in banned for c in pool), dtype=bool, count=len(pool)
+        )
+        return pool[keep]
+
+    def score(self, source: int, targets: Sequence[int], relation: str) -> np.ndarray:
+        """Dot-product scores of ``source`` against each target."""
+        targets = np.asarray(targets, dtype=np.int64)
+        source_emb = self.model.node_embeddings(np.asarray([source]), relation)[0]
+        target_emb = self.model.node_embeddings(targets, relation)
+        return target_emb @ source_emb
+
+    def recommend(self, source: int, relation: str, k: int = 10,
+                  target_type: Optional[str] = None,
+                  exclude_known: bool = True) -> List[Recommendation]:
+        """Top-``k`` recommendations for ``source`` under ``relation``."""
+        if k <= 0:
+            raise EvaluationError(f"k must be positive, got {k}")
+        pool = self.candidates(source, relation, target_type, exclude_known)
+        if len(pool) == 0:
+            return []
+        scores = self.score(source, pool, relation)
+        order = np.argsort(-scores, kind="stable")[:k]
+        return [
+            Recommendation(node=int(pool[i]), score=float(scores[i]))
+            for i in order
+        ]
+
+    def recommend_batch(self, sources: Sequence[int], relation: str, k: int = 10,
+                        target_type: Optional[str] = None,
+                        exclude_known: bool = True) -> List[List[Recommendation]]:
+        """Top-``k`` lists for several sources (embeddings fetched once)."""
+        return [
+            self.recommend(int(source), relation, k=k, target_type=target_type,
+                           exclude_known=exclude_known)
+            for source in sources
+        ]
+
+    # ------------------------------------------------------------------
+    def similar_nodes(self, node: int, relation: str, k: int = 10) -> List[Recommendation]:
+        """Top-``k`` same-typed nodes by embedding cosine similarity."""
+        if k <= 0:
+            raise EvaluationError(f"k must be positive, got {k}")
+        pool = self.graph.nodes_of_type(self.graph.node_type(node))
+        pool = pool[pool != node]
+        if len(pool) == 0:
+            return []
+        node_emb = self.model.node_embeddings(np.asarray([node]), relation)[0]
+        pool_emb = self.model.node_embeddings(pool, relation)
+        norms = np.linalg.norm(pool_emb, axis=1) * np.linalg.norm(node_emb)
+        scores = (pool_emb @ node_emb) / np.maximum(norms, 1e-12)
+        order = np.argsort(-scores, kind="stable")[:k]
+        return [
+            Recommendation(node=int(pool[i]), score=float(scores[i]))
+            for i in order
+        ]

@@ -1,0 +1,37 @@
+"""Dataset generation: synthetic multiplex graphs and the five alikes."""
+
+from repro.datasets.synthetic import (
+    RelationshipSpec,
+    SyntheticConfig,
+    SyntheticGenerator,
+    generate_graph,
+)
+from repro.datasets.zoo import (
+    Dataset,
+    amazon_like,
+    available_datasets,
+    imdb_like,
+    kuaishou_like,
+    load_dataset,
+    taobao_like,
+    youtube_like,
+)
+from repro.datasets.splits import EdgeSplit, EvalEdges, split_edges
+
+__all__ = [
+    "RelationshipSpec",
+    "SyntheticConfig",
+    "SyntheticGenerator",
+    "generate_graph",
+    "Dataset",
+    "amazon_like",
+    "youtube_like",
+    "imdb_like",
+    "taobao_like",
+    "kuaishou_like",
+    "load_dataset",
+    "available_datasets",
+    "EdgeSplit",
+    "EvalEdges",
+    "split_edges",
+]

@@ -1,0 +1,141 @@
+"""Train/validation/test edge splitting with paired negatives.
+
+The paper's protocol (Sect. IV-C): 85% of edges train, 5% validate, 10%
+test; for every positive edge in the validation and test sets one negative
+edge is sampled.  Negatives keep the source endpoint and replace the
+destination with a node of the same type that is *not* connected under the
+relationship in the full graph, so a model cannot score them by type alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graph.multiplex import MultiplexHeteroGraph
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass
+class EvalEdges:
+    """Labelled evaluation edges under one relationship."""
+
+    relation: str
+    src: np.ndarray
+    dst: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self):
+        if not (len(self.src) == len(self.dst) == len(self.labels)):
+            raise DatasetError("src, dst and labels must have equal lengths")
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+    @property
+    def positives(self) -> Tuple[np.ndarray, np.ndarray]:
+        mask = self.labels == 1
+        return self.src[mask], self.dst[mask]
+
+
+@dataclass
+class EdgeSplit:
+    """The result of :func:`split_edges`."""
+
+    train_graph: MultiplexHeteroGraph
+    val: Dict[str, EvalEdges]
+    test: Dict[str, EvalEdges]
+
+    def all_eval_relations(self) -> List[str]:
+        return list(self.test)
+
+
+def _sample_negatives(
+    graph: MultiplexHeteroGraph,
+    relation: str,
+    src: np.ndarray,
+    dst: np.ndarray,
+    rng: np.random.Generator,
+    max_tries: int = 200,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One negative per positive: same source, corrupted destination."""
+    neg_src = src.copy()
+    neg_dst = np.empty_like(dst)
+    for i, (u, v) in enumerate(zip(src, dst)):
+        node_type = graph.node_type(int(v))
+        candidates = graph.nodes_of_type(node_type)
+        for _ in range(max_tries):
+            candidate = int(candidates[rng.integers(len(candidates))])
+            if candidate != int(u) and not graph.has_edge(int(u), candidate, relation):
+                neg_dst[i] = candidate
+                break
+        else:
+            raise DatasetError(
+                f"could not find a negative for ({u}, {v}) under {relation!r}; "
+                "the graph is too dense for corruption-based negatives"
+            )
+    return neg_src, neg_dst
+
+
+def split_edges(
+    graph: MultiplexHeteroGraph,
+    train_fraction: float = 0.85,
+    val_fraction: float = 0.05,
+    rng: SeedLike = None,
+) -> EdgeSplit:
+    """Split every relationship's edges into train / val / test sets.
+
+    The returned ``train_graph`` shares the node universe of ``graph`` but
+    contains only the training edges.  ``val`` and ``test`` hold positives
+    plus an equal number of sampled negatives per relationship.
+    """
+    if not 0 < train_fraction < 1 or not 0 <= val_fraction < 1:
+        raise DatasetError("fractions must lie in (0, 1)")
+    if train_fraction + val_fraction >= 1:
+        raise DatasetError("train + val fractions must leave room for a test set")
+    rng = as_rng(rng)
+
+    train_edges: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    val_sets: Dict[str, EvalEdges] = {}
+    test_sets: Dict[str, EvalEdges] = {}
+
+    for relation in graph.schema.relationships:
+        src, dst = graph.edges(relation)
+        count = len(src)
+        if count == 0:
+            empty = np.empty(0, dtype=np.int64)
+            train_edges[relation] = (empty, empty)
+            continue
+        order = rng.permutation(count)
+        n_train = max(1, int(round(train_fraction * count)))
+        n_val = int(round(val_fraction * count))
+        n_train = min(n_train, count - 1) if count > 1 else count
+        train_idx = order[:n_train]
+        val_idx = order[n_train: n_train + n_val]
+        test_idx = order[n_train + n_val:]
+        train_edges[relation] = (src[train_idx], dst[train_idx])
+
+        for name, idx, store in (
+            ("val", val_idx, val_sets),
+            ("test", test_idx, test_sets),
+        ):
+            if len(idx) == 0:
+                continue
+            pos_src, pos_dst = src[idx], dst[idx]
+            neg_src, neg_dst = _sample_negatives(graph, relation, pos_src, pos_dst, rng)
+            store[relation] = EvalEdges(
+                relation=relation,
+                src=np.concatenate([pos_src, neg_src]),
+                dst=np.concatenate([pos_dst, neg_dst]),
+                labels=np.concatenate(
+                    [np.ones(len(idx), dtype=np.int64), np.zeros(len(idx), dtype=np.int64)]
+                ),
+            )
+
+    train_graph = MultiplexHeteroGraph(
+        graph.schema, graph.node_type_codes.copy(), train_edges
+    )
+    return EdgeSplit(train_graph=train_graph, val=val_sets, test=test_sets)

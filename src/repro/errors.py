@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing unrelated
+``ValueError``/``KeyError`` instances raised by their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A graph schema is malformed or an entity refers to an unknown type."""
+
+
+class GraphError(ReproError):
+    """A graph operation received inconsistent or out-of-range data."""
+
+
+class MetapathError(ReproError):
+    """A metapath scheme is invalid for the schema it is used with."""
+
+
+class SamplingError(ReproError):
+    """A sampler cannot make progress (e.g. a node with no neighbors)."""
+
+
+class ShapeError(ReproError):
+    """A tensor operation received operands with incompatible shapes."""
+
+
+class AutogradError(ReproError):
+    """Backward propagation was requested in an invalid state."""
+
+
+class TrainingError(ReproError):
+    """Model training failed or was configured inconsistently."""
+
+
+class EvaluationError(ReproError):
+    """An evaluation routine received empty or malformed predictions."""
+
+
+class DatasetError(ReproError):
+    """Dataset generation or splitting was configured inconsistently."""

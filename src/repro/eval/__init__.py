@@ -1,0 +1,44 @@
+"""Evaluation: metrics, link-prediction & ranking harnesses, significance."""
+
+from repro.eval.metrics import (
+    average_precision_at_k,
+    best_f1,
+    f1_at_threshold,
+    ndcg_at_k,
+    pr_auc,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+    roc_auc,
+)
+from repro.eval.link_prediction import (
+    LinkPredictionReport,
+    RelationEmbedder,
+    edge_scores,
+    evaluate_link_prediction,
+)
+from repro.eval.ranking import RankingReport, evaluate_ranking
+from repro.eval.significance import TTestResult, paired_t_test
+from repro.eval.degree_analysis import DegreeBucket, degree_bucketed_ranking
+
+__all__ = [
+    "roc_auc",
+    "pr_auc",
+    "best_f1",
+    "f1_at_threshold",
+    "precision_at_k",
+    "recall_at_k",
+    "ndcg_at_k",
+    "reciprocal_rank",
+    "average_precision_at_k",
+    "RelationEmbedder",
+    "edge_scores",
+    "evaluate_link_prediction",
+    "LinkPredictionReport",
+    "evaluate_ranking",
+    "RankingReport",
+    "paired_t_test",
+    "TTestResult",
+    "DegreeBucket",
+    "degree_bucketed_ranking",
+]

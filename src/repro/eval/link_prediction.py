@@ -1,0 +1,79 @@
+"""Link-prediction evaluation harness.
+
+Models expose relationship-specific node embeddings through the
+``RelationEmbedder`` protocol; scoring an edge (u, v) under relationship r
+is the sigmoid of the dot product of the endpoints' embeddings — the same
+decoder the paper's objective (Eq. 13) trains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Protocol
+
+import numpy as np
+
+from repro.datasets.splits import EvalEdges
+from repro.eval.metrics import best_f1, pr_auc, roc_auc
+
+
+class RelationEmbedder(Protocol):
+    """Anything that yields relationship-specific node embeddings."""
+
+    def node_embeddings(self, nodes: np.ndarray, relation: str) -> np.ndarray:
+        """Embeddings e*_{v, r} of shape (len(nodes), d)."""
+        ...
+
+
+def edge_logits(model: RelationEmbedder, edges: EvalEdges) -> np.ndarray:
+    """Raw dot-product logits for every labelled edge.
+
+    The ranking metrics are invariant under the sigmoid, and raw logits
+    avoid float saturation (which would introduce artificial ties).
+    """
+    src_emb = model.node_embeddings(edges.src, edges.relation)
+    dst_emb = model.node_embeddings(edges.dst, edges.relation)
+    return np.einsum("ij,ij->i", src_emb, dst_emb)
+
+
+def edge_scores(model: RelationEmbedder, edges: EvalEdges) -> np.ndarray:
+    """Sigmoid dot-product scores (probabilities) for every labelled edge."""
+    logits = edge_logits(model, edges)
+    return 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+
+
+@dataclass
+class LinkPredictionReport:
+    """Per-relationship and aggregate link-prediction metrics (in %)."""
+
+    per_relation: Dict[str, Dict[str, float]]
+
+    @property
+    def overall(self) -> Dict[str, float]:
+        """Unweighted mean over relationships, matching the paper's tables."""
+        if not self.per_relation:
+            return {}
+        keys = next(iter(self.per_relation.values())).keys()
+        return {
+            key: float(np.mean([m[key] for m in self.per_relation.values()]))
+            for key in keys
+        }
+
+    def __getitem__(self, metric: str) -> float:
+        return self.overall[metric]
+
+
+def evaluate_link_prediction(
+    model: RelationEmbedder,
+    eval_sets: Mapping[str, EvalEdges],
+) -> LinkPredictionReport:
+    """ROC-AUC / PR-AUC / F1 (as percentages) per relationship."""
+    per_relation: Dict[str, Dict[str, float]] = {}
+    for relation, edges in eval_sets.items():
+        scores = edge_logits(model, edges)
+        per_relation[relation] = {
+            "roc_auc": 100.0 * roc_auc(edges.labels, scores),
+            "pr_auc": 100.0 * pr_auc(edges.labels, scores),
+            "f1": 100.0 * best_f1(edges.labels, scores),
+        }
+    return LinkPredictionReport(per_relation=per_relation)

@@ -1,0 +1,167 @@
+"""Evaluation metrics: ROC-AUC, PR-AUC, F1, PR@K, HR@K (Sect. IV-C).
+
+The binary metrics follow the paper's references: ROC-AUC (Hanley & McNeil),
+PR-AUC as average precision (Davis & Goadrich), and F1 maximised over the
+score threshold (the protocol of the GATNE evaluation code the paper
+follows).  The top-K metrics are per-source-node precision and recall of the
+ranked recommendation list.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import EvaluationError
+
+
+def _check_inputs(labels: np.ndarray, scores: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    labels = np.asarray(labels)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape or labels.ndim != 1:
+        raise EvaluationError(
+            f"labels and scores must be equal-length 1-d arrays, got "
+            f"{labels.shape} and {scores.shape}"
+        )
+    if len(labels) == 0:
+        raise EvaluationError("cannot evaluate zero predictions")
+    unique = set(np.unique(labels).tolist())
+    if not unique <= {0, 1}:
+        raise EvaluationError(f"labels must be binary, got values {sorted(unique)}")
+    return labels.astype(np.int64), scores
+
+
+def roc_auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank (Mann-Whitney U) formulation."""
+    labels, scores = _check_inputs(labels, scores)
+    n_pos = int(labels.sum())
+    n_neg = len(labels) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise EvaluationError("ROC-AUC needs at least one positive and one negative")
+    ranks = stats.rankdata(scores)  # average ranks handle ties correctly
+    rank_sum = float(ranks[labels == 1].sum())
+    return (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def _threshold_counts(labels: np.ndarray, scores: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Cumulative (tp, predicted-positive) counts at each *distinct* threshold.
+
+    Grouping tied scores makes the metrics below independent of input order
+    — with naive per-item cumsums, tied scores (e.g. a saturated sigmoid)
+    would credit whichever label happens to be listed first.
+    """
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_labels = labels[order]
+    # Last index of each group of equal scores.
+    boundaries = np.flatnonzero(np.diff(sorted_scores) != 0)
+    boundaries = np.append(boundaries, len(sorted_scores) - 1)
+    tp = np.cumsum(sorted_labels)[boundaries]
+    predicted_pos = boundaries + 1
+    return tp.astype(np.float64), predicted_pos.astype(np.float64)
+
+
+def pr_auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Average precision (the standard summary of the PR curve)."""
+    labels, scores = _check_inputs(labels, scores)
+    n_pos = int(labels.sum())
+    if n_pos == 0:
+        raise EvaluationError("PR-AUC needs at least one positive")
+    tp, predicted_pos = _threshold_counts(labels, scores)
+    precision = tp / predicted_pos
+    recall = tp / n_pos
+    recall_prev = np.concatenate([[0.0], recall[:-1]])
+    return float(((recall - recall_prev) * precision).sum())
+
+
+def best_f1(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Maximum F1 over all (distinct) score thresholds."""
+    labels, scores = _check_inputs(labels, scores)
+    n_pos = int(labels.sum())
+    if n_pos == 0:
+        raise EvaluationError("F1 needs at least one positive")
+    tp, predicted_pos = _threshold_counts(labels, scores)
+    precision = tp / predicted_pos
+    recall = tp / n_pos
+    denom = precision + recall
+    f1 = np.where(denom > 0, 2 * precision * recall / np.maximum(denom, 1e-12), 0.0)
+    return float(f1.max())
+
+
+def f1_at_threshold(labels: np.ndarray, scores: np.ndarray, threshold: float = 0.5) -> float:
+    """F1 of the hard classification ``scores >= threshold``."""
+    labels, scores = _check_inputs(labels, scores)
+    predictions = (scores >= threshold).astype(np.int64)
+    tp = int(((predictions == 1) & (labels == 1)).sum())
+    fp = int(((predictions == 1) & (labels == 0)).sum())
+    fn = int(((predictions == 0) & (labels == 1)).sum())
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2 * precision * recall / (precision + recall)
+
+
+def precision_at_k(ranked_hits: Sequence[bool], k: int) -> float:
+    """Fraction of the top-``k`` ranked items that are relevant."""
+    if k <= 0:
+        raise EvaluationError(f"k must be positive, got {k}")
+    hits = np.asarray(ranked_hits[:k], dtype=bool)
+    return float(hits.sum()) / k
+
+
+def recall_at_k(ranked_hits: Sequence[bool], num_relevant: int, k: int) -> float:
+    """Fraction of the relevant items retrieved in the top ``k`` (HR@K)."""
+    if k <= 0:
+        raise EvaluationError(f"k must be positive, got {k}")
+    if num_relevant <= 0:
+        raise EvaluationError("recall needs at least one relevant item")
+    hits = np.asarray(ranked_hits[:k], dtype=bool)
+    return float(hits.sum()) / num_relevant
+
+
+def ndcg_at_k(ranked_hits: Sequence[bool], num_relevant: int, k: int) -> float:
+    """Normalised discounted cumulative gain of the top-``k`` list.
+
+    Binary relevance: DCG = sum over hit positions i (0-based) of
+    1/log2(i + 2); the ideal DCG places all relevant items first.
+    """
+    if k <= 0:
+        raise EvaluationError(f"k must be positive, got {k}")
+    if num_relevant <= 0:
+        raise EvaluationError("NDCG needs at least one relevant item")
+    hits = np.asarray(ranked_hits[:k], dtype=bool)
+    positions = np.flatnonzero(hits)
+    dcg = float((1.0 / np.log2(positions + 2.0)).sum())
+    # Guard against inconsistent inputs (more hits than declared relevant).
+    ideal_count = min(max(num_relevant, int(hits.sum())), k)
+    ideal = float((1.0 / np.log2(np.arange(ideal_count) + 2.0)).sum())
+    return dcg / ideal
+
+
+def reciprocal_rank(ranked_hits: Sequence[bool]) -> float:
+    """1 / (rank of the first relevant item), or 0 if none is ranked."""
+    hits = np.asarray(ranked_hits, dtype=bool)
+    positions = np.flatnonzero(hits)
+    if len(positions) == 0:
+        return 0.0
+    return 1.0 / float(positions[0] + 1)
+
+
+def average_precision_at_k(ranked_hits: Sequence[bool], num_relevant: int,
+                           k: int) -> float:
+    """MAP@K component: mean of precision@i over relevant positions i <= k."""
+    if k <= 0:
+        raise EvaluationError(f"k must be positive, got {k}")
+    if num_relevant <= 0:
+        raise EvaluationError("AP needs at least one relevant item")
+    hits = np.asarray(ranked_hits[:k], dtype=bool)
+    positions = np.flatnonzero(hits)
+    if len(positions) == 0:
+        return 0.0
+    precisions = (np.arange(len(positions)) + 1.0) / (positions + 1.0)
+    # Guard against inconsistent inputs (more hits than declared relevant).
+    denominator = min(max(num_relevant, len(positions)), k)
+    return float(precisions.sum()) / denominator

@@ -1,0 +1,176 @@
+"""Reproduction of the paper's evaluation figures (Sect. IV).
+
+- Fig. 4: hyper-parameter sensitivity (d_m, d_e, number of negatives);
+- Fig. 5: metapath attention scores per relationship (Taobao, Kuaishou);
+- Fig. 6: PR@10 by degree cluster per relationship (Taobao).
+
+Each function returns the figure's data series; benches print them as text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.eval import degree_bucketed_ranking
+from repro.experiments.models import make_model
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.experiments.runner import prepare_split, run_single
+from repro.utils.rng import as_rng
+from repro.utils.tables import format_table
+
+
+# ----------------------------------------------------------------------
+# Fig. 4: parameter sensitivity
+# ----------------------------------------------------------------------
+def figure4(
+    datasets: Sequence[str] = ("amazon", "taobao"),
+    base_dims: Sequence[int] = (8, 16, 32, 64),
+    edge_dims: Sequence[int] = (2, 4, 8, 16),
+    negatives: Sequence[int] = (1, 3, 5, 7),
+    profile: Optional[ExperimentProfile] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """ROC-AUC as each hyper-parameter sweeps (others at profile defaults).
+
+    Returns {dataset: {"d_m": {value: roc}, "d_e": ..., "n": ...}}.  The
+    sweep values are scaled-down analogues of the paper's grids (d_m in
+    {64..512}, d_e in {2..128}, n in {1..7}) matching the alikes' size.
+    """
+    profile = profile or get_profile()
+    results: Dict[str, Dict[str, Dict[int, float]]] = {}
+    sweeps = {
+        "d_m": ("base_dim", base_dims),
+        "d_e": ("edge_dim", edge_dims),
+        "n": ("num_negatives", negatives),
+    }
+    for dataset_name in datasets:
+        dataset, split = prepare_split(dataset_name, profile, seed)
+        results[dataset_name] = {}
+        for label, (field, values) in sweeps.items():
+            series: Dict[int, float] = {}
+            for value in values:
+                run = run_single(
+                    "HybridGNN", dataset_name, seed=seed, profile=profile,
+                    hybrid_overrides={field: value}, dataset=dataset, split=split,
+                )
+                series[value] = run.link["roc_auc"]
+            results[dataset_name][label] = series
+    return results
+
+
+def render_figure4(results: Dict[str, Dict[str, Dict[int, float]]]) -> str:
+    blocks = []
+    for dataset_name, sweeps in results.items():
+        for label, series in sweeps.items():
+            rows = [[value, roc] for value, roc in series.items()]
+            blocks.append(
+                format_table(
+                    [label, "ROC-AUC"], rows,
+                    title=f"Fig. 4 — impact of {label} on {dataset_name}",
+                    float_fmt="{:.2f}",
+                )
+            )
+    return "\n\n".join(blocks)
+
+
+# ----------------------------------------------------------------------
+# Fig. 5: attention score case study
+# ----------------------------------------------------------------------
+def figure5(
+    datasets: Sequence[str] = ("taobao", "kuaishou"),
+    profile: Optional[ExperimentProfile] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Metapath-level attention mass per flow, per relationship.
+
+    Returns {dataset: {relation: {flow_label: score}}}.  Flow labels are the
+    Table II pattern abbreviations plus ``random`` for the exploration flow;
+    scores within a (relation, start-type) group sum to 1 and groups of
+    different start types are averaged where they share the ``random`` flow.
+    """
+    profile = profile or get_profile()
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for dataset_name in datasets:
+        dataset, split = prepare_split(dataset_name, profile, seed)
+        run_model = make_model("HybridGNN", profile, seed)
+        run_model.fit(dataset, split)
+        module = run_model.module
+        results[dataset_name] = {}
+        rng = as_rng(seed + 1)
+        for relation in split.train_graph.schema.relationships:
+            merged: Dict[str, List[float]] = {}
+            for node_type in split.train_graph.schema.node_types:
+                if len(split.train_graph.nodes_of_type(node_type)) == 0:
+                    continue
+                scores = module.metapath_attention_scores(
+                    relation, node_type, rng=rng
+                )
+                for label, score in scores.items():
+                    merged.setdefault(label, []).append(score)
+            results[dataset_name][relation] = {
+                label: float(np.mean(values)) for label, values in merged.items()
+            }
+    return results
+
+
+def render_figure5(results: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    blocks = []
+    for dataset_name, per_relation in results.items():
+        labels = sorted({l for scores in per_relation.values() for l in scores})
+        rows = []
+        for relation, scores in per_relation.items():
+            rows.append([relation] + [scores.get(l, float("nan")) for l in labels])
+        blocks.append(
+            format_table(
+                ["Relation"] + labels, rows,
+                title=f"Fig. 5 — metapath attention scores on {dataset_name}",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+# ----------------------------------------------------------------------
+# Fig. 6: degree-cluster performance per relationship
+# ----------------------------------------------------------------------
+def figure6(
+    dataset_name: str = "taobao",
+    num_buckets: int = 4,
+    profile: Optional[ExperimentProfile] = None,
+    seed: int = 0,
+) -> Dict[str, List]:
+    """PR@10 per degree bucket, per relationship, for HybridGNN.
+
+    Returns {"buckets": labels, relation: [pr@10 per bucket], ...}.
+    """
+    profile = profile or get_profile()
+    dataset, split = prepare_split(dataset_name, profile, seed)
+    result = run_single(
+        "HybridGNN", dataset_name, seed=seed, profile=profile,
+        keep_per_node=True, dataset=dataset, split=split,
+    )
+    output: Dict[str, List] = {}
+    labels: List[str] = []
+    for relation in result.ranking.per_node:
+        buckets = degree_bucketed_ranking(
+            result.ranking, split.train_graph, num_buckets=num_buckets,
+            relation=relation,
+        )
+        labels = [b.label for b in buckets] or labels
+        output[relation] = [b.pr_at_k for b in buckets]
+    output["buckets"] = labels
+    return output
+
+
+def render_figure6(results: Dict[str, List]) -> str:
+    labels = results["buckets"]
+    rows = [
+        [relation] + values
+        for relation, values in results.items()
+        if relation != "buckets"
+    ]
+    return format_table(
+        ["Relation"] + list(labels), rows,
+        title="Fig. 6 — PR@10 by degree cluster (Taobao)",
+    )

@@ -1,0 +1,136 @@
+"""Model factory: build any of the ten compared models from a profile.
+
+Also adapts :class:`~repro.core.model.HybridGNN` (a bare module) to the
+:class:`~repro.baselines.base.BaselineModel` fit/embed interface so the
+runner treats all ten models uniformly, including the four Table VII
+ablation variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines import (
+    GATNE,
+    GCN,
+    HAN,
+    LINE,
+    MAGNN,
+    MNE,
+    RGCN,
+    BaselineModel,
+    DeepWalk,
+    GraphSage,
+    Node2Vec,
+)
+from repro.core import (
+    HybridGNN,
+    HybridGNNConfig,
+    SkipGramTrainer,
+    TrainerConfig,
+    TrainingHistory,
+)
+from repro.datasets.splits import EdgeSplit
+from repro.datasets.zoo import Dataset
+from repro.experiments.profiles import ExperimentProfile
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+class HybridGNNModel(BaselineModel):
+    """BaselineModel adapter around HybridGNN + its trainer."""
+
+    name = "HybridGNN"
+
+    def __init__(self, config: HybridGNNConfig = HybridGNNConfig(),
+                 trainer_config: TrainerConfig = TrainerConfig(),
+                 rng: SeedLike = None, name: Optional[str] = None):
+        super().__init__(rng)
+        self.config = config
+        self.trainer_config = trainer_config
+        self.module: Optional[HybridGNN] = None
+        self.history: Optional[TrainingHistory] = None
+        if name is not None:
+            self.name = name
+
+    def fit(self, dataset: Dataset, split: EdgeSplit) -> None:
+        schemes = dataset.all_schemes()
+        self.module = HybridGNN(
+            split.train_graph, schemes, self.config, rng=spawn_rng(self._rng)
+        )
+        trainer = SkipGramTrainer(
+            self.module, schemes, split, config=self.trainer_config,
+            rng=spawn_rng(self._rng),
+        )
+        self.history = trainer.fit()
+
+    def node_embeddings(self, nodes: np.ndarray, relation: str) -> np.ndarray:
+        if self.module is None:
+            raise RuntimeError("HybridGNN has not been fitted")
+        return self.module.node_embeddings(nodes, relation)
+
+
+#: Canonical model order used in Tables III/IV.
+MODEL_NAMES: List[str] = [
+    "DeepWalk",
+    "node2vec",
+    "LINE",
+    "GCN",
+    "GraphSage",
+    "HAN",
+    "MAGNN",
+    "R-GCN",
+    "GATNE",
+    "HybridGNN",
+]
+
+#: Table VII ablation variants (flag overrides on HybridGNNConfig).
+ABLATION_VARIANTS: Dict[str, Dict[str, bool]] = {
+    "HybridGNN": {},
+    "w/o metapath-level attention": {"use_metapath_attention": False},
+    "w/o relationship-level attention": {"use_relationship_attention": False},
+    "w/o randomized exploration": {"use_randomized_exploration": False},
+    "w/o hybrid aggregation flow": {"use_hybrid_flows": False},
+}
+
+
+def make_model(name: str, profile: ExperimentProfile, seed: int,
+               hybrid_overrides: Optional[Dict] = None) -> BaselineModel:
+    """Instantiate model ``name`` with profile-appropriate budgets."""
+    dim = profile.hybrid.base_dim
+    tc = profile.trainer
+    if name == "DeepWalk":
+        return DeepWalk(dim=dim, num_walks=profile.shallow_walks,
+                        walk_length=tc.walk_length, window=tc.window,
+                        epochs=profile.shallow_epochs, rng=seed)
+    if name == "node2vec":
+        return Node2Vec(dim=dim, num_walks=profile.shallow_walks,
+                        walk_length=tc.walk_length, window=tc.window,
+                        epochs=profile.shallow_epochs, rng=seed)
+    if name == "LINE":
+        return LINE(dim=dim, epochs=4 * profile.shallow_epochs, rng=seed)
+    if name == "GCN":
+        return GCN(dim=dim, epochs=profile.fullbatch_epochs, rng=seed)
+    if name == "GraphSage":
+        return GraphSage(dim=dim, epochs=profile.sage_epochs, rng=seed)
+    if name == "HAN":
+        return HAN(dim=dim, trainer_config=tc, rng=seed)
+    if name == "MAGNN":
+        return MAGNN(dim=dim, trainer_config=tc, rng=seed)
+    if name == "R-GCN":
+        return RGCN(dim=dim, epochs=profile.fullbatch_epochs, rng=seed)
+    if name == "GATNE":
+        return GATNE(base_dim=dim, edge_dim=profile.hybrid.edge_dim,
+                     trainer_config=tc, rng=seed)
+    if name == "MNE":
+        # Bonus baseline (the paper's Fig. 1(b) archetype), not in MODEL_NAMES.
+        return MNE(base_dim=dim, edge_dim=max(2, profile.hybrid.edge_dim // 4),
+                   trainer_config=tc, rng=seed)
+    if name == "HybridGNN":
+        config = profile.hybrid
+        if hybrid_overrides:
+            config = replace(config, **hybrid_overrides)
+        return HybridGNNModel(config=config, trainer_config=tc, rng=seed)
+    raise ValueError(f"unknown model {name!r}; available: {MODEL_NAMES}")

@@ -1,0 +1,110 @@
+"""Execution profiles for the experiment harness.
+
+Every bench target runs under a profile controlling dataset scale and
+training budget:
+
+- ``ci``: smallest complete configuration — every bench finishes in a
+  combined ~15-20 CPU-minutes; select with ``REPRO_PROFILE=ci``.
+- ``smoke`` (default for ``pytest benchmarks/``): small graphs, a modest
+  training budget; minutes per bench on a laptop CPU.
+- ``paper``: larger graphs and budgets, closer to the paper's settings;
+  select it with ``REPRO_PROFILE=paper``.
+
+Absolute metric values differ between profiles (and from the paper's
+testbed); the comparisons the paper makes — model ordering, ablation
+deltas, depth peaks — are what the harness reproduces.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.config import HybridGNNConfig, TrainerConfig
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Scale and budget knobs shared by all experiments."""
+
+    name: str
+    scale: float
+    seeds: int
+    trainer: TrainerConfig
+    hybrid: HybridGNNConfig
+    shallow_epochs: int       # DeepWalk / node2vec / LINE
+    shallow_walks: int
+    fullbatch_epochs: int     # GCN / R-GCN
+    sage_epochs: int
+    ranking_max_sources: int  # cap on ranked source nodes per relation
+
+
+SMOKE = ExperimentProfile(
+    name="smoke",
+    scale=0.25,
+    seeds=1,
+    trainer=TrainerConfig(
+        epochs=8, batch_size=512, num_walks=2, walk_length=8, window=3,
+        patience=4, learning_rate=2e-2, max_batches_per_epoch=60,
+    ),
+    hybrid=HybridGNNConfig(
+        base_dim=32, edge_dim=16, metapath_fanouts=(5, 3, 2, 2, 2, 2),
+        exploration_fanout=5, exploration_depth=2,
+    ),
+    shallow_epochs=4,
+    shallow_walks=4,
+    fullbatch_epochs=80,
+    sage_epochs=6,
+    ranking_max_sources=25,
+)
+
+PAPER = ExperimentProfile(
+    name="paper",
+    scale=1.0,
+    seeds=3,
+    trainer=TrainerConfig(
+        epochs=15, batch_size=512, num_walks=4, walk_length=10, window=5,
+        patience=5, learning_rate=1e-2,
+    ),
+    hybrid=HybridGNNConfig(
+        base_dim=32, edge_dim=16, metapath_fanouts=(5, 4, 3, 2, 2, 2),
+        exploration_fanout=5, exploration_depth=2,
+    ),
+    shallow_epochs=6,
+    shallow_walks=8,
+    fullbatch_epochs=200,
+    sage_epochs=8,
+    ranking_max_sources=80,
+)
+
+CI = ExperimentProfile(
+    name="ci",
+    scale=0.2,
+    seeds=1,
+    trainer=TrainerConfig(
+        epochs=5, batch_size=512, num_walks=2, walk_length=8, window=3,
+        patience=3, learning_rate=2e-2, max_batches_per_epoch=30,
+    ),
+    hybrid=HybridGNNConfig(
+        base_dim=24, edge_dim=12, metapath_fanouts=(4, 3, 2, 2, 2, 2),
+        exploration_fanout=4, exploration_depth=2, eval_samples=2,
+    ),
+    shallow_epochs=3,
+    shallow_walks=3,
+    fullbatch_epochs=60,
+    sage_epochs=4,
+    ranking_max_sources=20,
+)
+
+_PROFILES = {"smoke": SMOKE, "paper": PAPER, "ci": CI}
+
+
+def get_profile(name: str = "") -> ExperimentProfile:
+    """Resolve a profile by name, falling back to ``$REPRO_PROFILE``/smoke."""
+    name = name or os.environ.get("REPRO_PROFILE", "smoke")
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown profile {name!r}; available: {sorted(_PROFILES)}"
+        ) from None

@@ -1,0 +1,163 @@
+"""Markdown report generation: paper-reported vs measured, per experiment.
+
+``build_report`` runs every table experiment under a profile and renders a
+markdown document comparing each measured value with the paper's reported
+one.  The checked-in ``EXPERIMENTS.md`` is a generated-then-annotated
+instance of this report.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import figures as figures_mod
+from repro.experiments import paper_reference as ref
+from repro.experiments import tables as tables_mod
+from repro.experiments.profiles import ExperimentProfile, get_profile
+
+
+def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                    float_fmt: str = "{:.2f}") -> str:
+    def fmt(cell):
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(fmt(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def link_prediction_section(measured: Dict[str, Dict[str, List[float]]],
+                            title: str) -> str:
+    """Paper-vs-measured ROC-AUC (the tables' headline metric)."""
+    out = [f"### {title}", ""]
+    for dataset, per_model in measured.items():
+        rows = []
+        reference = ref.LINK_PREDICTION.get(dataset, {})
+        for model, values in per_model.items():
+            paper = reference.get(model)
+            rows.append([
+                model,
+                paper[0] if paper else float("nan"),
+                values[0],
+                paper[2] if paper else float("nan"),
+                values[2],
+            ])
+        out.append(f"**{dataset}**")
+        out.append("")
+        out.append(_markdown_table(
+            ["Model", "paper ROC-AUC", "measured ROC-AUC",
+             "paper F1", "measured F1"],
+            rows,
+        ))
+        out.append("")
+    return "\n".join(out)
+
+
+def table5_section(measured: Dict[str, Dict[int, tuple]]) -> str:
+    out = ["### Table V — exploration depth", ""]
+    rows = []
+    for dataset, by_depth in measured.items():
+        reference = ref.EXPLORATION_DEPTH.get(dataset, {})
+        for depth, (roc, f1) in sorted(by_depth.items()):
+            paper = reference.get(depth)
+            rows.append([
+                dataset, depth,
+                paper[0] if paper else float("nan"), roc,
+                paper[1] if paper else float("nan"), f1,
+            ])
+    out.append(_markdown_table(
+        ["Dataset", "L", "paper ROC", "measured ROC", "paper F1", "measured F1"],
+        rows,
+    ))
+    out.append("")
+    return "\n".join(out)
+
+
+def table6_section(measured: Dict[str, Dict[str, float]]) -> str:
+    out = ["### Table VI — inter-relationship uplift (ROC-AUC on r0)", ""]
+    models = list(next(iter(measured.values())))
+    rows = []
+    for label, metrics in measured.items():
+        paper = ref.INTER_RELATIONSHIP_UPLIFT.get(label, {})
+        row: List[object] = [label]
+        for model in models:
+            row.append(paper.get(model, float("nan")))
+            row.append(metrics[model])
+        rows.append(row)
+    headers = ["Subgraph"]
+    for model in models:
+        headers += [f"paper {model}", f"measured {model}"]
+    out.append(_markdown_table(headers, rows))
+    out.append("")
+    return "\n".join(out)
+
+
+def table7_section(measured: Dict[str, Dict[str, float]]) -> str:
+    out = ["### Table VII — ablation (F1)", ""]
+    datasets = list(next(iter(measured.values())))
+    rows = []
+    for variant, per_dataset in measured.items():
+        paper = ref.ABLATION_F1.get(variant, {})
+        row: List[object] = [variant]
+        for dataset in datasets:
+            row.append(paper.get(dataset, float("nan")))
+            row.append(per_dataset[dataset])
+        rows.append(row)
+    headers = ["Variant"]
+    for dataset in datasets:
+        headers += [f"paper {dataset}", f"measured {dataset}"]
+    out.append(_markdown_table(headers, rows))
+    out.append("")
+    return "\n".join(out)
+
+
+def table8_section(measured: Dict[str, List]) -> str:
+    out = ["### Table VIII — PR@10 by degree cluster (IMDb)", ""]
+    rows = []
+    for idx, bucket in enumerate(measured["buckets"]):
+        rows.append([
+            bucket,
+            ref.DEGREE_CLUSTERS_IMDB["GATNE"][idx]
+            if idx < len(ref.DEGREE_CLUSTERS_IMDB["GATNE"]) else float("nan"),
+            measured["GATNE"][idx],
+            ref.DEGREE_CLUSTERS_IMDB["HybridGNN"][idx]
+            if idx < len(ref.DEGREE_CLUSTERS_IMDB["HybridGNN"]) else float("nan"),
+            measured["HybridGNN"][idx],
+        ])
+    out.append(_markdown_table(
+        ["Bucket (measured edges)", "paper GATNE", "measured GATNE",
+         "paper HybridGNN", "measured HybridGNN"],
+        rows, float_fmt="{:.4f}",
+    ))
+    out.append("")
+    return "\n".join(out)
+
+
+def build_report(profile: Optional[ExperimentProfile] = None) -> str:
+    """Run every table experiment and render the full markdown report.
+
+    This is expensive (it trains dozens of models); the benches run the same
+    experiments individually.
+    """
+    profile = profile or get_profile()
+    out = io.StringIO()
+    out.write(f"# Experiments report (profile: {profile.name})\n\n")
+    out.write(link_prediction_section(tables_mod.table3(profile=profile),
+                                      "Tables III — Amazon / YouTube / IMDb"))
+    out.write("\n")
+    out.write(link_prediction_section(tables_mod.table4(profile=profile),
+                                      "Table IV — Taobao / Kuaishou"))
+    out.write("\n")
+    out.write(table5_section(tables_mod.table5(profile=profile)))
+    out.write("\n")
+    out.write(table6_section(tables_mod.table6(profile=profile)))
+    out.write("\n")
+    out.write(table7_section(tables_mod.table7(profile=profile)))
+    out.write("\n")
+    out.write(table8_section(tables_mod.table8(profile=profile)))
+    return out.getvalue()

@@ -1,0 +1,281 @@
+"""Reproduction of every table in the paper's evaluation (Sect. IV).
+
+Each ``tableN`` function runs the experiment behind the corresponding paper
+table, returns its data as nested dicts, and can render the same rows the
+paper prints via :func:`repro.utils.tables.format_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets import EdgeSplit
+from repro.datasets.zoo import Dataset
+from repro.eval import (
+    degree_bucketed_ranking,
+    evaluate_link_prediction,
+    paired_t_test,
+)
+from repro.experiments.models import ABLATION_VARIANTS, MODEL_NAMES, make_model
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.experiments.runner import mean_row, prepare_split, run_seeds, run_single
+from repro.utils.tables import format_table
+
+METRIC_COLUMNS = ["ROC-AUC", "PR-AUC", "F1", "PR@10", "HR@10"]
+
+
+# ----------------------------------------------------------------------
+# Tables III & IV: the main link-prediction comparison
+# ----------------------------------------------------------------------
+def link_prediction_table(
+    datasets: Sequence[str],
+    models: Sequence[str] = tuple(MODEL_NAMES),
+    profile: Optional[ExperimentProfile] = None,
+) -> Dict[str, Dict[str, List[float]]]:
+    """{dataset: {model: [roc, pr, f1, pr@10, hr@10]}} averaged over seeds."""
+    profile = profile or get_profile()
+    results: Dict[str, Dict[str, List[float]]] = {}
+    for dataset_name in datasets:
+        results[dataset_name] = {}
+        for model_name in models:
+            runs = run_seeds(model_name, dataset_name, profile=profile)
+            results[dataset_name][model_name] = mean_row(runs)
+    return results
+
+
+def table3(profile: Optional[ExperimentProfile] = None,
+           models: Sequence[str] = tuple(MODEL_NAMES)) -> Dict:
+    """Table III: Amazon (G1), YouTube (G1) and IMDb (G2)."""
+    return link_prediction_table(("amazon", "youtube", "imdb"), models, profile)
+
+
+def table4(profile: Optional[ExperimentProfile] = None,
+           models: Sequence[str] = tuple(MODEL_NAMES)) -> Dict:
+    """Table IV: Taobao and Kuaishou (both G3)."""
+    return link_prediction_table(("taobao", "kuaishou"), models, profile)
+
+
+def render_link_prediction(results: Dict[str, Dict[str, List[float]]],
+                           title: str) -> str:
+    """Render a Tables III/IV-shaped result as aligned text tables."""
+    blocks = []
+    for dataset_name, per_model in results.items():
+        rows = [[model] + values for model, values in per_model.items()]
+        blocks.append(
+            format_table(["Model"] + METRIC_COLUMNS, rows,
+                         title=f"{title} — {dataset_name}")
+        )
+    return "\n\n".join(blocks)
+
+
+def significance_report(
+    dataset_name: str,
+    baseline: str = "GATNE",
+    metric_index: int = 0,
+    profile: Optional[ExperimentProfile] = None,
+) -> Dict[str, float]:
+    """p-values of HybridGNN vs a baseline across seeds (the paper's t-test)."""
+    profile = profile or get_profile()
+    ours = [r.row()[metric_index] for r in run_seeds("HybridGNN", dataset_name, profile=profile)]
+    theirs = [r.row()[metric_index] for r in run_seeds(baseline, dataset_name, profile=profile)]
+    outcome = paired_t_test(ours, theirs)
+    return {
+        "mean_difference": outcome.mean_difference,
+        "p_value": outcome.p_value,
+    }
+
+
+# ----------------------------------------------------------------------
+# Table V: randomized-exploration depth
+# ----------------------------------------------------------------------
+def table5(
+    datasets: Sequence[str] = ("amazon", "youtube", "imdb", "taobao"),
+    depths: Sequence[int] = (1, 2, 3),
+    profile: Optional[ExperimentProfile] = None,
+) -> Dict[str, Dict[int, Tuple[float, float]]]:
+    """{dataset: {L: (roc_auc, f1)}} for HybridGNN at each exploration depth."""
+    profile = profile or get_profile()
+    results: Dict[str, Dict[int, Tuple[float, float]]] = {}
+    for dataset_name in datasets:
+        results[dataset_name] = {}
+        for depth in depths:
+            runs = run_seeds(
+                "HybridGNN", dataset_name, profile=profile,
+                hybrid_overrides={"exploration_depth": depth},
+            )
+            row = mean_row(runs)
+            results[dataset_name][depth] = (row[0], row[2])
+    return results
+
+
+def render_table5(results: Dict[str, Dict[int, Tuple[float, float]]]) -> str:
+    datasets = list(results)
+    depths = sorted(next(iter(results.values())))
+    headers = ["Depth"] + [f"{d} ROC/F1" for d in datasets]
+    rows = []
+    for depth in depths:
+        row = [f"HybridGNN (L={depth})"]
+        for dataset_name in datasets:
+            roc, f1 = results[dataset_name][depth]
+            row.append(f"{roc:.2f}/{f1:.2f}")
+        rows.append(row)
+    return format_table(headers, rows, title="Table V — randomized exploration depth")
+
+
+# ----------------------------------------------------------------------
+# Table VI: uplift from inter-relationship information
+# ----------------------------------------------------------------------
+def table6(
+    dataset_name: str = "youtube",
+    models: Sequence[str] = ("GCN", "GATNE", "HybridGNN"),
+    profile: Optional[ExperimentProfile] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """ROC-AUC on relationship r0 as the training graph grows g_{r0} -> G.
+
+    Returns {subset_label: {model: roc_auc}}.  GCN (homogeneous) is trained
+    on g_{r0} only — per the paper its row is constant — while the multiplex
+    models see the growing relationship set.
+    """
+    profile = profile or get_profile()
+    dataset, split = prepare_split(dataset_name, profile, seed)
+    relations = list(dataset.graph.schema.relationships)
+    target = relations[0]
+    results: Dict[str, Dict[str, float]] = {}
+
+    # GCN's constant row: trained once on the target-relationship subgraph.
+    gcn_split = EdgeSplit(
+        train_graph=split.train_graph.relationship_subgraph([target]),
+        val={target: split.val[target]} if target in split.val else {},
+        test={target: split.test[target]},
+    )
+    gcn_dataset = Dataset(
+        dataset.name, gcn_split.train_graph, dataset.metapath_patterns,
+        dataset.abbreviations,
+    )
+    gcn_score = None
+    if "GCN" in models:
+        gcn = make_model("GCN", profile, seed)
+        gcn.fit(gcn_dataset, gcn_split)
+        gcn_score = evaluate_link_prediction(gcn, gcn_split.test)["roc_auc"]
+
+    for upto in range(1, len(relations) + 1):
+        subset = relations[:upto]
+        label = "g_{" + ",".join(f"r{i}" for i in range(upto)) + "}"
+        sub_train = split.train_graph.relationship_subgraph(subset)
+        sub_split = EdgeSplit(
+            train_graph=sub_train,
+            val={target: split.val[target]} if target in split.val else {},
+            test={target: split.test[target]},
+        )
+        sub_dataset = Dataset(
+            dataset.name, sub_train, dataset.metapath_patterns, dataset.abbreviations
+        )
+        results[label] = {}
+        for model_name in models:
+            if model_name == "GCN":
+                results[label][model_name] = gcn_score
+                continue
+            model = make_model(model_name, profile, seed)
+            model.fit(sub_dataset, sub_split)
+            results[label][model_name] = evaluate_link_prediction(
+                model, sub_split.test
+            )["roc_auc"]
+    return results
+
+
+def render_table6(results: Dict[str, Dict[str, float]]) -> str:
+    models = list(next(iter(results.values())))
+    rows = [[label] + [metrics[m] for m in models] for label, metrics in results.items()]
+    return format_table(
+        ["Subgraph"] + list(models), rows,
+        title="Table VI — uplift from inter-relationship (ROC-AUC on r0)",
+        float_fmt="{:.2f}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Table VII: ablation study
+# ----------------------------------------------------------------------
+def table7(
+    datasets: Sequence[str] = ("amazon", "youtube", "imdb", "taobao"),
+    profile: Optional[ExperimentProfile] = None,
+) -> Dict[str, Dict[str, float]]:
+    """{variant: {dataset: F1}} for the four Table VII ablations + full model."""
+    profile = profile or get_profile()
+    results: Dict[str, Dict[str, float]] = {}
+    for variant, overrides in ABLATION_VARIANTS.items():
+        results[variant] = {}
+        for dataset_name in datasets:
+            runs = run_seeds(
+                "HybridGNN", dataset_name, profile=profile,
+                hybrid_overrides=overrides,
+            )
+            results[variant][dataset_name] = mean_row(runs)[2]
+    return results
+
+
+def render_table7(results: Dict[str, Dict[str, float]]) -> str:
+    datasets = list(next(iter(results.values())))
+    rows = [
+        [variant] + [per_dataset[d] for d in datasets]
+        for variant, per_dataset in results.items()
+    ]
+    return format_table(
+        ["Model"] + list(datasets), rows,
+        title="Table VII — ablation study (F1)", float_fmt="{:.2f}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Table VIII: degree-cluster comparison with GATNE on IMDb
+# ----------------------------------------------------------------------
+def table8(
+    dataset_name: str = "imdb",
+    num_buckets: int = 4,
+    profile: Optional[ExperimentProfile] = None,
+    seed: int = 0,
+) -> Dict[str, List]:
+    """PR@10 per degree cluster for GATNE vs HybridGNN.
+
+    Returns {"buckets": labels, "GATNE": [...], "HybridGNN": [...],
+    "improvement_pct": [...]}.
+    """
+    profile = profile or get_profile()
+    dataset, split = prepare_split(dataset_name, profile, seed)
+    per_model: Dict[str, List[float]] = {}
+    labels: List[str] = []
+    for model_name in ("GATNE", "HybridGNN"):
+        result = run_single(
+            model_name, dataset_name, seed=seed, profile=profile,
+            keep_per_node=True, dataset=dataset, split=split,
+        )
+        buckets = degree_bucketed_ranking(
+            result.ranking, split.train_graph, num_buckets=num_buckets
+        )
+        labels = [b.label for b in buckets]
+        per_model[model_name] = [b.pr_at_k for b in buckets]
+    improvement = [
+        (100.0 * (ours - theirs) / theirs) if theirs > 0 else float("nan")
+        for ours, theirs in zip(per_model["HybridGNN"], per_model["GATNE"])
+    ]
+    return {
+        "buckets": labels,
+        "GATNE": per_model["GATNE"],
+        "HybridGNN": per_model["HybridGNN"],
+        "improvement_pct": improvement,
+    }
+
+
+def render_table8(results: Dict[str, List]) -> str:
+    rows = [
+        ["GATNE"] + results["GATNE"],
+        ["HybridGNN"] + results["HybridGNN"],
+        ["Improvement %"] + results["improvement_pct"],
+    ]
+    return format_table(
+        ["Model"] + list(results["buckets"]), rows,
+        title="Table VIII — PR@10 by degree cluster (IMDb)",
+    )

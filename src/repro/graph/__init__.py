@@ -1,0 +1,33 @@
+"""Multiplex heterogeneous graph substrate (Sect. II of the paper)."""
+
+from repro.graph.schema import GraphSchema, MetapathScheme, intra_relationship_schemes
+from repro.graph.multiplex import MultiplexHeteroGraph
+from repro.graph.builder import GraphBuilder, graph_from_edge_arrays
+from repro.graph.io import load_graph, save_graph
+from repro.graph.statistics import GraphStatistics, compute_statistics, degree_clusters
+from repro.graph.enumeration import (
+    SchemeSuggestion,
+    count_schemes_by_length,
+    enumerate_schemes,
+    observed_type_triples,
+    suggest_schemes,
+)
+
+__all__ = [
+    "GraphSchema",
+    "MetapathScheme",
+    "intra_relationship_schemes",
+    "MultiplexHeteroGraph",
+    "GraphBuilder",
+    "graph_from_edge_arrays",
+    "save_graph",
+    "load_graph",
+    "GraphStatistics",
+    "compute_statistics",
+    "degree_clusters",
+    "enumerate_schemes",
+    "count_schemes_by_length",
+    "observed_type_triples",
+    "suggest_schemes",
+    "SchemeSuggestion",
+]

@@ -1,0 +1,101 @@
+"""Incremental construction of :class:`MultiplexHeteroGraph` instances."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError, SchemaError
+from repro.graph.multiplex import MultiplexHeteroGraph
+from repro.graph.schema import GraphSchema
+
+
+class GraphBuilder:
+    """Accumulate typed nodes and multiplex edges, then ``build()``.
+
+    Duplicate edges within a relationship are dropped silently (real logs
+    contain repeats); the same node pair may be connected under several
+    relationships — that is the multiplexity the paper studies.
+    """
+
+    def __init__(self, schema: GraphSchema):
+        self.schema = schema
+        self._type_codes: List[int] = []
+        self._edges: Dict[str, List[Tuple[int, int]]] = {
+            rel: [] for rel in schema.relationships
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._type_codes)
+
+    def add_node(self, node_type: str) -> int:
+        """Add one node; returns its id (dense, starting at 0)."""
+        code = self.schema.node_type_index(node_type)
+        self._type_codes.append(code)
+        return len(self._type_codes) - 1
+
+    def add_nodes(self, node_type: str, count: int) -> np.ndarray:
+        """Add ``count`` nodes of one type; returns their ids."""
+        if count < 0:
+            raise GraphError(f"cannot add a negative number of nodes ({count})")
+        code = self.schema.node_type_index(node_type)
+        start = len(self._type_codes)
+        self._type_codes.extend([code] * count)
+        return np.arange(start, start + count, dtype=np.int64)
+
+    def add_edge(self, u: int, v: int, relation: str) -> None:
+        """Add the undirected edge (u, v) under ``relation``."""
+        if relation not in self._edges:
+            raise SchemaError(
+                f"unknown relationship {relation!r}; schema has {self.schema.relationships}"
+            )
+        n = len(self._type_codes)
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphError(f"edge ({u}, {v}) references a node that does not exist")
+        if u == v:
+            raise GraphError("self-loops are not allowed")
+        self._edges[relation].append((u, v))
+
+    def add_edges(self, pairs: Iterable[Tuple[int, int]], relation: str) -> None:
+        for u, v in pairs:
+            self.add_edge(int(u), int(v), relation)
+
+    # ------------------------------------------------------------------
+    def build(self) -> MultiplexHeteroGraph:
+        """Validate, deduplicate, and freeze into an immutable graph."""
+        if not self._type_codes:
+            raise GraphError("cannot build an empty graph")
+        edges_by_rel: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        for relation, pairs in self._edges.items():
+            if pairs:
+                arr = np.asarray(pairs, dtype=np.int64)
+                low = np.minimum(arr[:, 0], arr[:, 1])
+                high = np.maximum(arr[:, 0], arr[:, 1])
+                keys = low * len(self._type_codes) + high
+                _, unique_idx = np.unique(keys, return_index=True)
+                arr = arr[np.sort(unique_idx)]
+                edges_by_rel[relation] = (arr[:, 0], arr[:, 1])
+            else:
+                empty = np.empty(0, dtype=np.int64)
+                edges_by_rel[relation] = (empty, empty)
+        return MultiplexHeteroGraph(
+            self.schema,
+            np.asarray(self._type_codes, dtype=np.int64),
+            edges_by_rel,
+        )
+
+
+def graph_from_edge_arrays(
+    schema: GraphSchema,
+    node_type_codes: Sequence[int],
+    edges_by_relationship: Dict[str, Tuple[Sequence[int], Sequence[int]]],
+) -> MultiplexHeteroGraph:
+    """Build a graph directly from arrays (used by dataset generators)."""
+    edges = {
+        rel: (np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64))
+        for rel, (src, dst) in edges_by_relationship.items()
+    }
+    return MultiplexHeteroGraph(schema, np.asarray(node_type_codes, dtype=np.int64), edges)

@@ -1,0 +1,173 @@
+"""Bounded enumeration of metapath schemes.
+
+The paper motivates randomized exploration by noting that "enumerating all
+meaningful intra-relationship metapaths and inter-relationship metapaths is
+costly" (Sect. I).  This module makes that trade-off concrete: it
+enumerates every scheme a graph actually *supports* up to a length bound,
+which (a) lets users discover candidate schemes for PS_r instead of
+hand-writing Table II patterns, and (b) quantifies the combinatorial blowup
+that randomized exploration sidesteps.
+
+A scheme is *supported* when at least one edge realises every hop type:
+we derive the set of (src_type, relation, dst_type) triples present in the
+graph and walk the type graph they induce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import MetapathError
+from repro.graph.multiplex import MultiplexHeteroGraph
+from repro.graph.schema import MetapathScheme
+
+
+def observed_type_triples(graph: MultiplexHeteroGraph) -> Set[Tuple[str, str, str]]:
+    """All (src_type, relation, dst_type) triples with at least one edge.
+
+    Symmetric: if (a, r, b) is present so is (b, r, a), matching the
+    undirected adjacency.
+    """
+    triples: Set[Tuple[str, str, str]] = set()
+    codes = graph.node_type_codes
+    names = graph.schema.node_types
+    for relation in graph.schema.relationships:
+        src, dst = graph.edges(relation)
+        for u_code, v_code in zip(codes[src], codes[dst]):
+            a, b = names[int(u_code)], names[int(v_code)]
+            triples.add((a, relation, b))
+            triples.add((b, relation, a))
+    return triples
+
+
+def enumerate_schemes(
+    graph: MultiplexHeteroGraph,
+    max_length: int,
+    start_type: Optional[str] = None,
+    intra_only: bool = False,
+    symmetric_only: bool = False,
+) -> List[MetapathScheme]:
+    """Every supported metapath scheme with 1..``max_length`` hops.
+
+    Parameters
+    ----------
+    max_length:
+        Maximum number of hops (|P|).  The result grows exponentially in
+        this bound — that is the point the paper makes.
+    start_type:
+        Restrict to schemes starting at one node type.
+    intra_only:
+        Keep only intra-relationship schemes (all hops one relation).
+    symmetric_only:
+        Keep only schemes whose type sequence is palindromic (the classic
+        similarity-style metapaths such as U-I-U).
+    """
+    if max_length < 1:
+        raise MetapathError(f"max_length must be >= 1, got {max_length}")
+    if start_type is not None:
+        graph.schema.node_type_index(start_type)
+
+    triples = observed_type_triples(graph)
+    hops_from: Dict[str, List[Tuple[str, str]]] = {}
+    for a, relation, b in triples:
+        hops_from.setdefault(a, []).append((relation, b))
+    for hops in hops_from.values():
+        hops.sort()
+
+    start_types = [start_type] if start_type else list(graph.schema.node_types)
+    results: List[MetapathScheme] = []
+
+    def extend(types: List[str], relations: List[str]) -> None:
+        if relations:
+            scheme = MetapathScheme(types, relations)
+            keep = True
+            if intra_only and not scheme.is_intra_relationship:
+                keep = False
+            if symmetric_only and not scheme.is_symmetric:
+                keep = False
+            if keep:
+                results.append(scheme)
+        if len(relations) == max_length:
+            return
+        for relation, next_type in hops_from.get(types[-1], []):
+            extend(types + [next_type], relations + [relation])
+
+    for node_type in start_types:
+        if node_type in hops_from:
+            extend([node_type], [])
+    return results
+
+
+def count_schemes_by_length(graph: MultiplexHeteroGraph,
+                            max_length: int) -> Dict[int, int]:
+    """How many supported schemes exist per hop count (the blowup curve)."""
+    counts: Dict[int, int] = {length: 0 for length in range(1, max_length + 1)}
+    for scheme in enumerate_schemes(graph, max_length):
+        counts[len(scheme)] += 1
+    return counts
+
+
+@dataclass(frozen=True)
+class SchemeSuggestion:
+    """A ranked candidate scheme for one relationship's PS_r."""
+
+    scheme: MetapathScheme
+    coverage: float  # fraction of start-type nodes with a complete instance
+
+
+def suggest_schemes(
+    graph: MultiplexHeteroGraph,
+    relation: str,
+    max_length: int = 2,
+    top: int = 5,
+    sample_size: int = 50,
+    rng=None,
+) -> List[SchemeSuggestion]:
+    """Rank intra-relationship candidate schemes for ``relation`` by coverage.
+
+    Coverage is the fraction of sampled start-type nodes for which a full
+    metapath instance exists; schemes that dead-end everywhere are useless
+    for aggregation.  Symmetric schemes are preferred (they express
+    similarity semantics), falling back to all schemes when none exist.
+    """
+    import numpy as np
+
+    from repro.sampling.neighbor_sampler import MetapathNeighborSampler
+    from repro.utils.rng import as_rng
+
+    rng = as_rng(rng)
+    graph.schema.relationship_index(relation)
+    candidates = [
+        scheme
+        for scheme in enumerate_schemes(graph, max_length, intra_only=True,
+                                        symmetric_only=True)
+        if scheme.relations[0] == relation and len(scheme) >= 2
+    ]
+    if not candidates:
+        candidates = [
+            scheme
+            for scheme in enumerate_schemes(graph, max_length, intra_only=True)
+            if scheme.relations[0] == relation and len(scheme) >= 2
+        ]
+
+    suggestions: List[SchemeSuggestion] = []
+    for scheme in candidates:
+        starts = graph.nodes_of_type(scheme.start_type)
+        if len(starts) == 0:
+            continue
+        sampler = MetapathNeighborSampler(
+            graph, scheme, [1] * len(scheme), rng=rng
+        )
+        sample = rng.choice(starts, size=min(sample_size, len(starts)),
+                            replace=False)
+        complete = 0
+        for node in sample:
+            reached = sampler.guided_neighbors(int(node), len(scheme))
+            if len(reached):
+                complete += 1
+        suggestions.append(
+            SchemeSuggestion(scheme=scheme, coverage=complete / len(sample))
+        )
+    suggestions.sort(key=lambda s: (-s.coverage, len(s.scheme)))
+    return suggestions[:top]

@@ -1,0 +1,71 @@
+"""Serialisation of multiplex heterogeneous graphs.
+
+Format: a JSON header (schema + node types) plus a TSV edge section, all in
+one file so a dataset is a single artifact:
+
+    #HEADER {json}
+    u \t v \t relationship
+    ...
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.multiplex import MultiplexHeteroGraph
+from repro.graph.schema import GraphSchema
+
+_HEADER_PREFIX = "#HEADER "
+
+
+def save_graph(graph: MultiplexHeteroGraph, path: Union[str, Path]) -> None:
+    """Write ``graph`` to ``path`` in the library's single-file format."""
+    path = Path(path)
+    header = {
+        "node_types": list(graph.schema.node_types),
+        "relationships": list(graph.schema.relationships),
+        "node_type_codes": graph.node_type_codes.tolist(),
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(_HEADER_PREFIX + json.dumps(header) + "\n")
+        for relation in graph.schema.relationships:
+            src, dst = graph.edges(relation)
+            for u, v in zip(src.tolist(), dst.tolist()):
+                handle.write(f"{u}\t{v}\t{relation}\n")
+
+
+def load_graph(path: Union[str, Path]) -> MultiplexHeteroGraph:
+    """Read a graph previously written by :func:`save_graph`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        first = handle.readline()
+        if not first.startswith(_HEADER_PREFIX):
+            raise GraphError(f"{path} does not start with a {_HEADER_PREFIX!r} line")
+        header = json.loads(first[len(_HEADER_PREFIX):])
+        schema = GraphSchema(header["node_types"], header["relationships"])
+        codes = np.asarray(header["node_type_codes"], dtype=np.int64)
+        edges: Dict[str, Tuple[List[int], List[int]]] = {
+            rel: ([], []) for rel in schema.relationships
+        }
+        for line_no, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise GraphError(f"{path}:{line_no}: expected 'u\\tv\\trelation'")
+            u, v, relation = int(parts[0]), int(parts[1]), parts[2]
+            if relation not in edges:
+                raise GraphError(f"{path}:{line_no}: unknown relationship {relation!r}")
+            edges[relation][0].append(u)
+            edges[relation][1].append(v)
+    arrays = {
+        rel: (np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64))
+        for rel, (src, dst) in edges.items()
+    }
+    return MultiplexHeteroGraph(schema, codes, arrays)

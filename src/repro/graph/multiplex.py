@@ -1,0 +1,232 @@
+"""The multiplex heterogeneous graph container.
+
+Edges are stored per relationship in CSR (compressed sparse row) form so that
+``neighbors(node, relation)`` is an O(1) slice — the operation every sampler
+in this library is built on.  Graphs are undirected: an edge (u, v, r)
+contributes v to u's adjacency and u to v's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError, SchemaError
+from repro.graph.schema import GraphSchema
+
+
+class MultiplexHeteroGraph:
+    """An immutable multiplex heterogeneous network G = (V, E, phi, psi).
+
+    Use :class:`repro.graph.builder.GraphBuilder` to construct instances;
+    the constructor here expects already-validated arrays.
+
+    Parameters
+    ----------
+    schema:
+        Node-type / relationship structure.
+    node_type_codes:
+        int array of shape (num_nodes,) mapping node id -> node-type index.
+    edges_by_relationship:
+        Mapping relationship name -> (src, dst) int arrays of equal length.
+        Each pair is stored once; adjacency is symmetrised internally.
+    """
+
+    def __init__(
+        self,
+        schema: GraphSchema,
+        node_type_codes: np.ndarray,
+        edges_by_relationship: Dict[str, Tuple[np.ndarray, np.ndarray]],
+    ):
+        self.schema = schema
+        self._type_codes = np.asarray(node_type_codes, dtype=np.int64)
+        if self._type_codes.ndim != 1:
+            raise GraphError("node_type_codes must be 1-dimensional")
+        num_nodes = len(self._type_codes)
+        if num_nodes == 0:
+            raise GraphError("graph must contain at least one node")
+        if self._type_codes.min(initial=0) < 0 or (
+            num_nodes and self._type_codes.max(initial=0) >= schema.num_node_types
+        ):
+            raise GraphError("node type code out of range for schema")
+
+        self._edges: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        self._indptr: Dict[str, np.ndarray] = {}
+        self._indices: Dict[str, np.ndarray] = {}
+        self._edge_sets: Dict[str, set] = {}
+
+        unknown = set(edges_by_relationship) - set(schema.relationships)
+        if unknown:
+            raise SchemaError(f"edges reference unknown relationships: {sorted(unknown)}")
+
+        for relation in schema.relationships:
+            src, dst = edges_by_relationship.get(relation, (np.empty(0, np.int64),) * 2)
+            src = np.asarray(src, dtype=np.int64)
+            dst = np.asarray(dst, dtype=np.int64)
+            if src.shape != dst.shape or src.ndim != 1:
+                raise GraphError(f"edge arrays for {relation!r} must be equal-length 1-d")
+            if len(src) and (
+                src.min() < 0 or dst.min() < 0
+                or src.max() >= num_nodes or dst.max() >= num_nodes
+            ):
+                raise GraphError(f"edge endpoint out of range for relationship {relation!r}")
+            if np.any(src == dst):
+                raise GraphError(f"self-loops are not allowed (relationship {relation!r})")
+            self._edges[relation] = (src, dst)
+            indptr, indices = self._build_csr(num_nodes, src, dst)
+            self._indptr[relation] = indptr
+            self._indices[relation] = indices
+            low = np.minimum(src, dst)
+            high = np.maximum(src, dst)
+            self._edge_sets[relation] = set((low * num_nodes + high).tolist())
+
+        # Node ids grouped by type, for typed negative/context sampling.
+        self._nodes_by_type: Dict[str, np.ndarray] = {
+            name: np.flatnonzero(self._type_codes == code)
+            for code, name in enumerate(schema.node_types)
+        }
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_csr(num_nodes: int, src: np.ndarray, dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Symmetrised CSR adjacency from an undirected edge list."""
+        all_src = np.concatenate([src, dst])
+        all_dst = np.concatenate([dst, src])
+        order = np.argsort(all_src, kind="stable")
+        sorted_src = all_src[order]
+        sorted_dst = all_dst[order]
+        counts = np.bincount(sorted_src, minlength=num_nodes)
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, sorted_dst
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._type_codes)
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of (undirected) edges across all relationships."""
+        return sum(len(src) for src, _ in self._edges.values())
+
+    def num_edges_in(self, relation: str) -> int:
+        self.schema.relationship_index(relation)
+        return len(self._edges[relation][0])
+
+    @property
+    def node_type_codes(self) -> np.ndarray:
+        """int array: node id -> node-type index (read-only view)."""
+        view = self._type_codes.view()
+        view.flags.writeable = False
+        return view
+
+    def node_type(self, node: int) -> str:
+        """phi(v): the node-type name of ``node``."""
+        return self.schema.node_types[int(self._type_codes[node])]
+
+    def nodes_of_type(self, node_type: str) -> np.ndarray:
+        """kappa^-1: all node ids with the given type."""
+        try:
+            return self._nodes_by_type[node_type]
+        except KeyError:
+            raise SchemaError(f"unknown node type {node_type!r}") from None
+
+    def edges(self, relation: str) -> Tuple[np.ndarray, np.ndarray]:
+        """The (src, dst) arrays of ``relation`` as stored (one direction)."""
+        self.schema.relationship_index(relation)
+        return self._edges[relation]
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def neighbors(self, node: int, relation: str) -> np.ndarray:
+        """N_r(v): neighbor ids of ``node`` under ``relation`` (O(1) slice)."""
+        indptr = self._indptr[relation]
+        return self._indices[relation][indptr[node]: indptr[node + 1]]
+
+    def degree(self, node: int, relation: Optional[str] = None) -> int:
+        """Degree of ``node`` under one relationship, or summed over all."""
+        if relation is not None:
+            indptr = self._indptr[relation]
+            return int(indptr[node + 1] - indptr[node])
+        return sum(self.degree(node, rel) for rel in self.schema.relationships)
+
+    def degrees(self, relation: Optional[str] = None) -> np.ndarray:
+        """Vector of degrees for every node."""
+        if relation is not None:
+            indptr = self._indptr[relation]
+            return np.diff(indptr)
+        total = np.zeros(self.num_nodes, dtype=np.int64)
+        for rel in self.schema.relationships:
+            total += np.diff(self._indptr[rel])
+        return total
+
+    def active_relationships(self, node: int) -> List[str]:
+        """Relationships under which ``node`` has at least one neighbor."""
+        return [rel for rel in self.schema.relationships if self.degree(node, rel) > 0]
+
+    def has_edge(self, u: int, v: int, relation: str) -> bool:
+        """True if (u, v) is connected under ``relation`` (order-insensitive)."""
+        if u == v:
+            return False
+        low, high = (u, v) if u < v else (v, u)
+        return (low * self.num_nodes + high) in self._edge_sets[relation]
+
+    def csr(self, relation: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Raw (indptr, indices) of the symmetrised adjacency of ``relation``."""
+        self.schema.relationship_index(relation)
+        return self._indptr[relation], self._indices[relation]
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def relationship_subgraph(self, relations: Sequence[str]) -> "MultiplexHeteroGraph":
+        """g_{r_i, r_j, ...}: keep only the listed relationships.
+
+        The node set (and node ids) is unchanged, matching the paper's
+        Table VI experiment where subgraphs grow one relationship at a time.
+        """
+        relations = list(relations)
+        if not relations:
+            raise GraphError("a relationship subgraph needs at least one relationship")
+        for relation in relations:
+            self.schema.relationship_index(relation)
+        sub_schema = GraphSchema(self.schema.node_types, relations)
+        sub_edges = {rel: self._edges[rel] for rel in relations}
+        return MultiplexHeteroGraph(sub_schema, self._type_codes, sub_edges)
+
+    def merged_relation_graph(self, relation_name: str = "all") -> "MultiplexHeteroGraph":
+        """Collapse all relationships into a single one (node types kept).
+
+        This is the *non-multiplex heterogeneous* view used by the HAN and
+        MAGNN baselines, which model node-type heterogeneity but not edge
+        multiplexity.
+        """
+        src, dst = self.merged_homogeneous_view()
+        schema = GraphSchema(self.schema.node_types, (relation_name,))
+        return MultiplexHeteroGraph(schema, self._type_codes, {relation_name: (src, dst)})
+
+    def merged_homogeneous_view(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All edges with types erased, as (src, dst) arrays.
+
+        This is how the homogeneous baselines (DeepWalk, node2vec, LINE,
+        GCN, GraphSage) see the graph per Sect. IV-B.
+        """
+        srcs = [self._edges[rel][0] for rel in self.schema.relationships]
+        dsts = [self._edges[rel][1] for rel in self.schema.relationships]
+        return np.concatenate(srcs), np.concatenate(dsts)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        per_rel = ", ".join(
+            f"{rel}={self.num_edges_in(rel)}" for rel in self.schema.relationships
+        )
+        return (
+            f"MultiplexHeteroGraph(|V|={self.num_nodes}, |E|={self.num_edges}, "
+            f"|O|={self.schema.num_node_types}, |R|={self.schema.num_relationships}, "
+            f"edges: {per_rel})"
+        )

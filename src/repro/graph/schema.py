@@ -1,0 +1,211 @@
+"""Schema objects: node types, relationships and metapath schemes.
+
+Definitions follow Section II of the paper:
+
+- a *heterogeneous network* has node-type set O and edge-type (relationship)
+  set R with |O| + |R| > 2;
+- a *multiplex heterogeneous network* additionally allows multiple
+  relationships between the same node pair (|R| > 1);
+- a *metapath scheme* is a typed path  o_0 -r_1-> o_1 ... -r_n-> o_n; it is
+  *intra-relationship* when all r_i coincide and *inter-relationship*
+  otherwise (Def. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import MetapathError, SchemaError
+
+
+@dataclass(frozen=True)
+class GraphSchema:
+    """The type structure of a multiplex heterogeneous network.
+
+    Parameters
+    ----------
+    node_types:
+        Names of the node types (the set O).
+    relationships:
+        Names of the edge types (the set R).
+    """
+
+    node_types: Tuple[str, ...]
+    relationships: Tuple[str, ...]
+
+    def __init__(self, node_types: Sequence[str], relationships: Sequence[str]):
+        node_types = tuple(node_types)
+        relationships = tuple(relationships)
+        if not node_types:
+            raise SchemaError("schema requires at least one node type")
+        if not relationships:
+            raise SchemaError("schema requires at least one relationship")
+        if len(set(node_types)) != len(node_types):
+            raise SchemaError(f"duplicate node types in {node_types}")
+        if len(set(relationships)) != len(relationships):
+            raise SchemaError(f"duplicate relationships in {relationships}")
+        object.__setattr__(self, "node_types", node_types)
+        object.__setattr__(self, "relationships", relationships)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_node_types(self) -> int:
+        return len(self.node_types)
+
+    @property
+    def num_relationships(self) -> int:
+        return len(self.relationships)
+
+    @property
+    def is_multiplex(self) -> bool:
+        """|R| > 1 — multiple relationships may connect the same pair."""
+        return self.num_relationships > 1
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """|O| + |R| > 2 (Def. 1)."""
+        return self.num_node_types + self.num_relationships > 2
+
+    # ------------------------------------------------------------------
+    def node_type_index(self, node_type: str) -> int:
+        try:
+            return self.node_types.index(node_type)
+        except ValueError:
+            raise SchemaError(
+                f"unknown node type {node_type!r}; schema has {self.node_types}"
+            ) from None
+
+    def relationship_index(self, relationship: str) -> int:
+        try:
+            return self.relationships.index(relationship)
+        except ValueError:
+            raise SchemaError(
+                f"unknown relationship {relationship!r}; schema has {self.relationships}"
+            ) from None
+
+    def category(self) -> str:
+        """The paper's categorisation (Sect. III-G): ``G1`` (|O|=1, |R|>=2),
+        ``G2`` (|O|>=2, |R|=1), ``G3`` (|O|>=2, |R|>=2) or ``homogeneous``."""
+        many_types = self.num_node_types >= 2
+        many_rels = self.num_relationships >= 2
+        if many_types and many_rels:
+            return "G3"
+        if many_types:
+            return "G2"
+        if many_rels:
+            return "G1"
+        return "homogeneous"
+
+
+@dataclass(frozen=True)
+class MetapathScheme:
+    """A typed path  o_0 -r_1-> o_1 -r_2-> ... -r_n-> o_n  (Def. 3).
+
+    ``node_types`` has length n+1 and ``relations`` length n.
+    """
+
+    node_types: Tuple[str, ...]
+    relations: Tuple[str, ...]
+
+    def __init__(self, node_types: Sequence[str], relations: Sequence[str]):
+        node_types = tuple(node_types)
+        relations = tuple(relations)
+        if len(node_types) < 2:
+            raise MetapathError("a metapath scheme needs at least two node types")
+        if len(relations) != len(node_types) - 1:
+            raise MetapathError(
+                f"need exactly {len(node_types) - 1} relations for "
+                f"{len(node_types)} node types, got {len(relations)}"
+            )
+        object.__setattr__(self, "node_types", node_types)
+        object.__setattr__(self, "relations", relations)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def intra(cls, node_types: Sequence[str], relation: str) -> "MetapathScheme":
+        """Build an intra-relationship scheme: every hop uses ``relation``."""
+        return cls(node_types, (relation,) * (len(node_types) - 1))
+
+    @classmethod
+    def parse(cls, text: str, relation: str, abbreviations: Dict[str, str]) -> "MetapathScheme":
+        """Parse the paper's Table II notation, e.g. ``"U-I-U"``.
+
+        ``abbreviations`` maps the single letters to node-type names, e.g.
+        ``{"U": "user", "I": "item"}``.
+        """
+        letters = [token.strip() for token in text.split("-") if token.strip()]
+        try:
+            node_types = [abbreviations[letter] for letter in letters]
+        except KeyError as exc:
+            raise MetapathError(
+                f"unknown abbreviation {exc.args[0]!r} in metapath {text!r}"
+            ) from None
+        return cls.intra(node_types, relation)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """|P| = number of hops n."""
+        return len(self.relations)
+
+    @property
+    def length(self) -> int:
+        return len(self.relations)
+
+    @property
+    def start_type(self) -> str:
+        return self.node_types[0]
+
+    @property
+    def end_type(self) -> str:
+        return self.node_types[-1]
+
+    @property
+    def is_intra_relationship(self) -> bool:
+        """True when all hops share one relation (Def. 3)."""
+        return len(set(self.relations)) == 1
+
+    @property
+    def is_symmetric(self) -> bool:
+        return self.node_types == tuple(reversed(self.node_types))
+
+    def validate(self, schema: GraphSchema) -> None:
+        """Raise :class:`MetapathError` if the scheme uses unknown types."""
+        for node_type in self.node_types:
+            if node_type not in schema.node_types:
+                raise MetapathError(
+                    f"metapath node type {node_type!r} not in schema {schema.node_types}"
+                )
+        for relation in self.relations:
+            if relation not in schema.relationships:
+                raise MetapathError(
+                    f"metapath relation {relation!r} not in schema {schema.relationships}"
+                )
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``user -click-> item -click-> user``."""
+        parts = [self.node_types[0]]
+        for relation, node_type in zip(self.relations, self.node_types[1:]):
+            parts.append(f"-{relation}->")
+            parts.append(node_type)
+        return " ".join(parts)
+
+
+def intra_relationship_schemes(
+    patterns: Iterable[str],
+    relationships: Iterable[str],
+    abbreviations: Dict[str, str],
+) -> Dict[str, List[MetapathScheme]]:
+    """Expand Table II patterns into per-relationship scheme sets PS_{r}.
+
+    Each textual pattern (``"U-I-U"``) is instantiated once per relationship
+    as an intra-relationship scheme, mirroring how the paper defines the
+    predefined metapath scheme set under every relationship.
+    """
+    patterns = list(patterns)
+    result: Dict[str, List[MetapathScheme]] = {}
+    for relation in relationships:
+        result[relation] = [
+            MetapathScheme.parse(pattern, relation, abbreviations) for pattern in patterns
+        ]
+    return result

@@ -1,0 +1,120 @@
+"""Neighborhood aggregation functions AGG(h_self, {h_neigh}) (Eq. 3).
+
+The paper names three candidates — mean, pooling and LSTM aggregators — and
+reports "no significant differences" between them, using the mean aggregator
+in all experiments.  All three are implemented here (the ablation bench
+verifies the claim).
+
+Every aggregator maps
+
+    self features      (batch, d_in)
+    neighbor features  (batch, n_neighbors, d_in)
+
+to aggregated features (batch, d_out), GraphSage-style: a learnable combine
+of the self vector and a learnable reduction of the neighbor set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.layers import Linear
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, concat
+from repro.utils.rng import SeedLike, as_rng, spawn_rng
+
+
+class Aggregator(Module):
+    """Interface: ``forward(self_feats, neighbor_feats) -> Tensor``."""
+
+    def __init__(self, in_dim: int, out_dim: int):
+        super().__init__()
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+
+    def forward(self, self_feats: Tensor, neighbor_feats: Tensor) -> Tensor:
+        raise NotImplementedError
+
+
+class MeanAggregator(Aggregator):
+    """h' = ReLU([h_self ; mean(h_neigh)] W) — the paper's default."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: SeedLike = None):
+        super().__init__(in_dim, out_dim)
+        self.combine = Linear(2 * in_dim, out_dim, rng=as_rng(rng))
+
+    def forward(self, self_feats: Tensor, neighbor_feats: Tensor) -> Tensor:
+        pooled = neighbor_feats.mean(axis=-2)
+        merged = concat([self_feats, pooled], axis=-1)
+        return self.combine(merged).relu()
+
+
+class MaxPoolAggregator(Aggregator):
+    """Transform each neighbor with an MLP, take elementwise max, combine."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: SeedLike = None):
+        super().__init__(in_dim, out_dim)
+        rng = as_rng(rng)
+        self.transform = Linear(in_dim, in_dim, rng=spawn_rng(rng))
+        self.combine = Linear(2 * in_dim, out_dim, rng=spawn_rng(rng))
+
+    def forward(self, self_feats: Tensor, neighbor_feats: Tensor) -> Tensor:
+        transformed = self.transform(neighbor_feats).relu()
+        pooled = transformed.max(axis=-2)
+        merged = concat([self_feats, pooled], axis=-1)
+        return self.combine(merged).relu()
+
+
+class LSTMAggregator(Aggregator):
+    """Run a single-layer LSTM over the neighbor sequence; use the last state.
+
+    Neighbor order is an artifact of sampling, so (as in GraphSage) the
+    aggregator is applied to the neighbors in sampled order; the sampler
+    already randomises that order.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, rng: SeedLike = None):
+        super().__init__(in_dim, out_dim)
+        rng = as_rng(rng)
+        hidden = in_dim
+        self.hidden_dim = hidden
+        # Fused gate weights: [input, forget, cell, output] stacked.
+        self.w_x = Parameter(init.xavier_uniform((in_dim, 4 * hidden), rng=spawn_rng(rng)))
+        self.w_h = Parameter(init.xavier_uniform((hidden, 4 * hidden), rng=spawn_rng(rng)))
+        self.b = Parameter(np.zeros(4 * hidden))
+        self.combine = Linear(2 * in_dim, out_dim, rng=spawn_rng(rng))
+
+    def forward(self, self_feats: Tensor, neighbor_feats: Tensor) -> Tensor:
+        batch, n_neighbors = neighbor_feats.shape[0], neighbor_feats.shape[1]
+        hidden = Tensor(np.zeros((batch, self.hidden_dim)))
+        cell = Tensor(np.zeros((batch, self.hidden_dim)))
+        for step in range(n_neighbors):
+            x_t = neighbor_feats[:, step, :]
+            gates = x_t @ self.w_x + hidden @ self.w_h + self.b
+            i_gate = gates[:, : self.hidden_dim].sigmoid()
+            f_gate = gates[:, self.hidden_dim: 2 * self.hidden_dim].sigmoid()
+            g_gate = gates[:, 2 * self.hidden_dim: 3 * self.hidden_dim].tanh()
+            o_gate = gates[:, 3 * self.hidden_dim:].sigmoid()
+            cell = f_gate * cell + i_gate * g_gate
+            hidden = o_gate * cell.tanh()
+        merged = concat([self_feats, hidden], axis=-1)
+        return self.combine(merged).relu()
+
+
+_AGGREGATORS = {
+    "mean": MeanAggregator,
+    "pool": MaxPoolAggregator,
+    "lstm": LSTMAggregator,
+}
+
+
+def make_aggregator(kind: str, in_dim: int, out_dim: int, rng: SeedLike = None) -> Aggregator:
+    """Factory for the three aggregator kinds: ``mean``, ``pool``, ``lstm``."""
+    try:
+        cls = _AGGREGATORS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown aggregator {kind!r}; expected one of {sorted(_AGGREGATORS)}"
+        ) from None
+    return cls(in_dim, out_dim, rng=rng)

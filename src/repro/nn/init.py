@@ -1,0 +1,50 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("initialisation requires at least a 1-d shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[0] * receptive
+    fan_out = shape[1] * receptive
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: Tuple[int, ...], gain: float = 1.0, rng: SeedLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    rng = as_rng(rng)
+    fan_in, fan_out = _fans(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], gain: float = 1.0, rng: SeedLike = None) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    rng = as_rng(rng)
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def normal(shape: Tuple[int, ...], std: float = 0.01, rng: SeedLike = None) -> np.ndarray:
+    """Zero-mean Gaussian initialisation."""
+    return as_rng(rng).normal(0.0, std, size=shape)
+
+
+def uniform(shape: Tuple[int, ...], limit: float = 0.05, rng: SeedLike = None) -> np.ndarray:
+    """Symmetric uniform initialisation in ``[-limit, limit]``."""
+    return as_rng(rng).uniform(-limit, limit, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)

@@ -1,0 +1,103 @@
+"""Common neural-network layers built on the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, embedding_lookup
+from repro.utils.rng import SeedLike, as_rng
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` over the last axis of ``x``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: SeedLike = None):
+        super().__init__()
+        rng = as_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng=rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """A table of ``num_embeddings`` learnable ``embedding_dim``-vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 std: float = 0.1, rng: SeedLike = None):
+        super().__init__()
+        rng = as_rng(rng)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), std=std, rng=rng))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return embedding_lookup(self.weight, indices)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity when the module is in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: SeedLike = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = as_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+
+class Sequential(Module):
+    """Apply child modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.steps = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for step in self.steps:
+            x = step(x)
+        return x
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered * ((var + self.eps) ** -0.5)
+        return normed * self.gamma + self.beta

@@ -1,0 +1,32 @@
+"""Sampling machinery: walks, exploration, neighborhoods and negatives."""
+
+from repro.sampling.adjacency import (
+    TypedAdjacencyCache,
+    sample_uniform_neighbors,
+    step_uniform,
+)
+from repro.sampling.alias import AliasTable
+from repro.sampling.random_walk import UniformRandomWalker
+from repro.sampling.node2vec_walk import Node2VecWalker
+from repro.sampling.metapath_walk import MetapathWalker, relationship_walks
+from repro.sampling.exploration import RandomizedExploration
+from repro.sampling.neighbor_sampler import MetapathNeighborSampler
+from repro.sampling.negative import UnigramNegativeSampler
+from repro.sampling.context import batches, context_pairs, relation_context_pairs
+
+__all__ = [
+    "AliasTable",
+    "TypedAdjacencyCache",
+    "sample_uniform_neighbors",
+    "step_uniform",
+    "UniformRandomWalker",
+    "Node2VecWalker",
+    "MetapathWalker",
+    "relationship_walks",
+    "RandomizedExploration",
+    "MetapathNeighborSampler",
+    "UnigramNegativeSampler",
+    "context_pairs",
+    "relation_context_pairs",
+    "batches",
+]

@@ -1,0 +1,75 @@
+"""Walker's alias method: O(1) draws from a fixed discrete distribution.
+
+Skip-gram training draws millions of negatives from the unigram^0.75
+distribution; ``numpy.random.Generator.choice(p=...)`` costs O(n) per call
+because it re-scans the probability vector.  The alias method pays O(n)
+once to build two tables and then answers each draw with one uniform
+integer and one uniform float.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.utils.rng import SeedLike, as_rng
+
+
+class AliasTable:
+    """Preprocessed discrete distribution supporting O(1) sampling.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative, not-all-zero weights (normalised internally).
+    """
+
+    def __init__(self, weights: np.ndarray):
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or len(weights) == 0:
+            raise SamplingError("weights must be a non-empty 1-d array")
+        if np.any(weights < 0):
+            raise SamplingError("weights must be non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise SamplingError("weights must not all be zero")
+
+        n = len(weights)
+        self.n = n
+        probs = weights * (n / total)
+        self.prob = np.zeros(n)
+        self.alias = np.zeros(n, dtype=np.int64)
+
+        small = [i for i in range(n) if probs[i] < 1.0]
+        large = [i for i in range(n) if probs[i] >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            self.prob[s] = probs[s]
+            self.alias[s] = l
+            probs[l] = probs[l] - (1.0 - probs[s])
+            if probs[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        for i in large + small:
+            self.prob[i] = 1.0
+
+    def sample(self, size: int, rng: SeedLike = None) -> np.ndarray:
+        """Draw ``size`` indices in O(size)."""
+        if size <= 0:
+            raise SamplingError(f"size must be positive, got {size}")
+        rng = as_rng(rng)
+        columns = rng.integers(0, self.n, size=size)
+        coins = rng.random(size)
+        use_alias = coins >= self.prob[columns]
+        out = columns.copy()
+        out[use_alias] = self.alias[columns[use_alias]]
+        return out
+
+    def probabilities(self) -> np.ndarray:
+        """The distribution this table samples from (for testing)."""
+        probs = np.zeros(self.n)
+        np.add.at(probs, np.arange(self.n), self.prob)
+        np.add.at(probs, self.alias, 1.0 - self.prob)
+        return probs / self.n

@@ -1,0 +1,64 @@
+"""Skip-gram context-pair extraction from walks (Sect. III-E).
+
+The context of a node v_i on a walk S is C(v_i) = {v_k : |k - i| <= delta,
+k != i} where delta is the window radius.  Training pairs are (center,
+context) tuples; for multiplex training each pair carries the relationship
+whose walk produced it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SamplingError
+
+
+def context_pairs(walks: Iterable[Sequence[int]], window: int) -> np.ndarray:
+    """Extract all (center, context) pairs within ``window`` of each other.
+
+    Returns an int array of shape (num_pairs, 2); empty walks contribute
+    nothing.
+    """
+    if window <= 0:
+        raise SamplingError(f"window must be positive, got {window}")
+    centers: List[int] = []
+    contexts: List[int] = []
+    for walk in walks:
+        length = len(walk)
+        for i in range(length):
+            lo = max(0, i - window)
+            hi = min(length, i + window + 1)
+            for k in range(lo, hi):
+                if k == i:
+                    continue
+                centers.append(walk[i])
+                contexts.append(walk[k])
+    if not centers:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.stack(
+        [np.asarray(centers, dtype=np.int64), np.asarray(contexts, dtype=np.int64)],
+        axis=1,
+    )
+
+
+def relation_context_pairs(
+    walks_by_relation: dict,
+    window: int,
+) -> List[Tuple[str, np.ndarray]]:
+    """Per-relationship context pairs: ``{rel: walks}`` -> ``[(rel, pairs)]``."""
+    return [
+        (relation, context_pairs(walks, window))
+        for relation, walks in walks_by_relation.items()
+    ]
+
+
+def batches(pairs: np.ndarray, batch_size: int,
+            rng: np.random.Generator) -> Iterable[np.ndarray]:
+    """Yield shuffled mini-batches of rows of ``pairs``."""
+    if batch_size <= 0:
+        raise SamplingError(f"batch size must be positive, got {batch_size}")
+    order = rng.permutation(len(pairs))
+    for start in range(0, len(pairs), batch_size):
+        yield pairs[order[start: start + batch_size]]

@@ -1,0 +1,118 @@
+"""Randomized inter-relationship exploration (Sect. III-B, Eqs. 1-2).
+
+This is the paper's first contribution: a two-phase sampler that crosses
+relationship-specific subgraphs.  At a node v_t it
+
+1. draws the next relationship r_{t+1} uniformly among the relationships
+   under which v_t has at least one neighbor (Eq. 1), then
+2. draws v_{t+1} uniformly from N_{r_{t+1}}(v_t) (Eq. 2).
+
+The resulting path instances follow no predefined metapath scheme; they are
+the P_rand aggregation flow of Eq. 4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.graph.multiplex import MultiplexHeteroGraph
+from repro.sampling.adjacency import sample_uniform_neighbors
+from repro.utils.rng import SeedLike, as_rng
+
+
+class RandomizedExploration:
+    """Two-phase inter-relationship sampler over a multiplex graph."""
+
+    def __init__(self, graph: MultiplexHeteroGraph, rng: SeedLike = None):
+        self.graph = graph
+        self._rng = as_rng(rng)
+        relations = graph.schema.relationships
+        # degree matrix D[v, r] = |N_r(v)|, used for the phase-1 choice.
+        self._degree_matrix = np.stack(
+            [graph.degrees(rel) for rel in relations], axis=1
+        )
+        self._csr = {rel: graph.csr(rel) for rel in relations}
+        self._relations = relations
+
+    # ------------------------------------------------------------------
+    def transition_probabilities(self, node: int) -> np.ndarray:
+        """p(r_{t+1} | v_t) for every relationship (Eq. 1)."""
+        degrees = self._degree_matrix[node]
+        active = degrees > 0
+        probs = np.zeros(len(self._relations))
+        if active.any():
+            probs[active] = 1.0 / active.sum()
+        return probs
+
+    # ------------------------------------------------------------------
+    def _choose_relations(self, nodes: np.ndarray) -> np.ndarray:
+        """Vectorised phase 1: a relationship index per node (-1 if none)."""
+        degrees = self._degree_matrix[nodes]  # (batch, R)
+        active = degrees > 0
+        counts = active.sum(axis=1)
+        draws = (self._rng.random(len(nodes)) * np.maximum(counts, 1)).astype(np.int64)
+        cumulative = np.cumsum(active, axis=1)
+        # First column where cumulative == draws + 1 and the column is active.
+        target = (draws + 1)[:, None]
+        hit = (cumulative == target) & active
+        chosen = np.argmax(hit, axis=1)
+        chosen[counts == 0] = -1
+        return chosen
+
+    def step(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """One two-phase step for each node in ``nodes``.
+
+        Returns ``(next_nodes, relation_indices)``; isolated nodes stay in
+        place with relation index -1.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        chosen = self._choose_relations(nodes)
+        next_nodes = nodes.copy()
+        for rel_idx, relation in enumerate(self._relations):
+            mask = chosen == rel_idx
+            if not mask.any():
+                continue
+            indptr, indices = self._csr[relation]
+            sampled = sample_uniform_neighbors(
+                indptr, indices, nodes[mask], 1, self._rng
+            )
+            next_nodes[mask] = sampled[:, 0]
+        return next_nodes, chosen
+
+    # ------------------------------------------------------------------
+    def walk(self, start: int, length: int) -> Tuple[List[int], List[str]]:
+        """One exploration walk; returns (nodes, relations-used)."""
+        path = [int(start)]
+        relations_used: List[str] = []
+        current = np.asarray([start], dtype=np.int64)
+        for _ in range(length - 1):
+            current, chosen = self.step(current)
+            if chosen[0] < 0:
+                break
+            path.append(int(current[0]))
+            relations_used.append(self._relations[int(chosen[0])])
+        return path, relations_used
+
+    def sample_layers(self, nodes: np.ndarray, depth: int,
+                      fanouts: List[int]) -> List[np.ndarray]:
+        """Fixed-size exploration neighborhoods for batched aggregation.
+
+        Layer k (1-based) has shape ``(batch, fanouts[0] * ... * fanouts[k-1])``
+        where each entry is an inter-relationship neighbor of the
+        corresponding entry of layer k-1.  Layer 0 is ``nodes`` itself.
+        These are the N^k_{P_rand} neighborhoods of Eq. 4.
+        """
+        if depth != len(fanouts):
+            raise ValueError(f"need one fanout per level: depth={depth}, fanouts={fanouts}")
+        nodes = np.asarray(nodes, dtype=np.int64)
+        layers = [nodes]
+        frontier = nodes
+        for fanout in fanouts:
+            flat = frontier.reshape(-1)
+            expanded = np.repeat(flat, fanout)
+            next_nodes, _ = self.step(expanded)
+            frontier = next_nodes.reshape(len(nodes), -1)
+            layers.append(frontier)
+        return layers

@@ -1,0 +1,116 @@
+"""Metapath-based random walks used for training (Sect. III-E, Eq. 12).
+
+For every relationship r the paper defines the walk scheme
+
+    phi(v_0) -r-> phi(v_1) -r-> ... -r-> phi(v_n)
+
+and the transition T(v_{t+1} | v_t) is uniform over the neighbors of v_t
+under r whose type matches the next type on the scheme.  The walker cycles
+through the scheme's node types (a scheme like U-I-U continues U-I-U-I-U…
+for walks longer than the scheme).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MetapathError
+from repro.graph.multiplex import MultiplexHeteroGraph
+from repro.graph.schema import MetapathScheme
+from repro.sampling.adjacency import TypedAdjacencyCache, step_uniform
+from repro.utils.rng import SeedLike, as_rng
+
+
+class MetapathWalker:
+    """Walks guided by one intra-relationship metapath scheme.
+
+    Parameters
+    ----------
+    graph:
+        The multiplex heterogeneous graph.
+    scheme:
+        An intra-relationship scheme; its single relation defines the
+        relationship-specific subgraph g_r the walk stays inside.
+    """
+
+    def __init__(self, graph: MultiplexHeteroGraph, scheme: MetapathScheme,
+                 rng: SeedLike = None,
+                 adjacency: Optional[TypedAdjacencyCache] = None):
+        scheme.validate(graph.schema)
+        if not scheme.is_intra_relationship:
+            raise MetapathError(
+                "training walks use intra-relationship schemes; "
+                f"got {scheme.describe()}"
+            )
+        self.graph = graph
+        self.scheme = scheme
+        self.relation = scheme.relations[0]
+        self._rng = as_rng(rng)
+        self._adjacency = adjacency or TypedAdjacencyCache(graph)
+
+    def _type_at(self, position: int) -> str:
+        """Node type at walk position ``position`` under cyclic extension."""
+        cycle = self.scheme.node_types[:-1]  # last type == first for symmetric schemes
+        if self.scheme.node_types[0] == self.scheme.node_types[-1]:
+            return cycle[position % len(cycle)]
+        # Asymmetric scheme: bounce back and forth (U-I-A-I-U style extension).
+        full = list(self.scheme.node_types)
+        period = 2 * (len(full) - 1)
+        offset = position % period
+        if offset >= len(full):
+            offset = period - offset
+        return full[offset]
+
+    def walk(self, start: int, length: int) -> List[int]:
+        """One metapath-guided walk of at most ``length`` nodes.
+
+        ``start`` must have the scheme's start type; the walk stops early at
+        a node with no valid typed neighbor.
+        """
+        if self.graph.node_type(start) != self.scheme.start_type:
+            raise MetapathError(
+                f"walk must start at a {self.scheme.start_type!r} node, "
+                f"got {self.graph.node_type(start)!r}"
+            )
+        path = [int(start)]
+        current = np.asarray([start], dtype=np.int64)
+        for position in range(1, length):
+            next_type = self._type_at(position)
+            indptr, indices = self._adjacency.view(self.relation, next_type)
+            current, moved = step_uniform(indptr, indices, current, self._rng)
+            if not moved[0]:
+                break
+            path.append(int(current[0]))
+        return path
+
+    def walks(self, num_walks: int, length: int,
+              starts: Optional[np.ndarray] = None) -> List[List[int]]:
+        """``num_walks`` walks from each start node of the correct type."""
+        if starts is None:
+            starts = self.graph.nodes_of_type(self.scheme.start_type)
+        result: List[List[int]] = []
+        for _ in range(num_walks):
+            shuffled = self._rng.permutation(starts)
+            for start in shuffled:
+                result.append(self.walk(int(start), length))
+        return result
+
+
+def relationship_walks(
+    graph: MultiplexHeteroGraph,
+    schemes: Sequence[MetapathScheme],
+    num_walks: int,
+    length: int,
+    rng: SeedLike = None,
+) -> List[List[int]]:
+    """Pool walks from several schemes (one relationship's PS_{r} set)."""
+    rng = as_rng(rng)
+    adjacency = None
+    result: List[List[int]] = []
+    for scheme in schemes:
+        walker = MetapathWalker(graph, scheme, rng=rng, adjacency=adjacency)
+        adjacency = walker._adjacency  # share the typed-CSR cache across schemes
+        result.extend(walker.walks(num_walks, length))
+    return result

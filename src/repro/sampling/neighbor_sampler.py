@@ -1,0 +1,87 @@
+"""Metapath-guided neighbor sampling (Def. 5 and Eq. 3).
+
+Given a metapath scheme P = o_0 -r_1-> o_1 ... -r_K-> o_K and a batch of
+o_0-typed nodes, :class:`MetapathNeighborSampler` draws fixed-size
+neighborhoods level by level:
+
+    layer 0: the batch itself                        shape (B,)
+    layer 1: N^1_P — fanout[0] typed neighbors each   shape (B, f1)
+    layer k: N^k_P                                   shape (B, f1*...*fk)
+
+Fixed fanouts keep every batch a dense tensor, which is what makes the
+recursive aggregation of Eq. 3 a handful of matrix multiplies instead of a
+per-node loop.  A node with no valid typed neighbor contributes itself,
+preserving shapes (the aggregator then mixes in self-information only).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MetapathError
+from repro.graph.multiplex import MultiplexHeteroGraph
+from repro.graph.schema import MetapathScheme
+from repro.sampling.adjacency import TypedAdjacencyCache, sample_uniform_neighbors
+from repro.utils.rng import SeedLike, as_rng
+
+
+class MetapathNeighborSampler:
+    """Samples metapath-guided neighborhoods for batches of start nodes."""
+
+    def __init__(self, graph: MultiplexHeteroGraph, scheme: MetapathScheme,
+                 fanouts: Sequence[int], rng: SeedLike = None,
+                 adjacency: Optional[TypedAdjacencyCache] = None):
+        scheme.validate(graph.schema)
+        if len(fanouts) != len(scheme):
+            raise MetapathError(
+                f"scheme {scheme.describe()} has {len(scheme)} hops but "
+                f"{len(fanouts)} fanouts were given"
+            )
+        if any(f <= 0 for f in fanouts):
+            raise MetapathError(f"fanouts must be positive, got {list(fanouts)}")
+        self.graph = graph
+        self.scheme = scheme
+        self.fanouts = list(fanouts)
+        self._rng = as_rng(rng)
+        self._adjacency = adjacency or TypedAdjacencyCache(graph)
+
+    def sample_layers(self, nodes: np.ndarray) -> List[np.ndarray]:
+        """Layered neighborhoods for ``nodes`` (see module docstring)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        layers = [nodes]
+        frontier = nodes
+        for hop, fanout in enumerate(self.fanouts):
+            relation = self.scheme.relations[hop]
+            target_type = self.scheme.node_types[hop + 1]
+            indptr, indices = self._adjacency.view(relation, target_type)
+            sampled = sample_uniform_neighbors(
+                indptr, indices, frontier.reshape(-1), fanout, self._rng
+            )
+            frontier = sampled.reshape(len(nodes), -1)
+            layers.append(frontier)
+        return layers
+
+    def guided_neighbors(self, node: int, step: int) -> np.ndarray:
+        """Exact N^step_P(node): all metapath-guided neighbors (no sampling).
+
+        Exponential in path length; intended for tests and small-graph
+        inspection, not training.
+        """
+        if not 0 <= step <= len(self.scheme):
+            raise MetapathError(f"step must be in [0, {len(self.scheme)}], got {step}")
+        frontier = {int(node)}
+        for hop in range(step):
+            relation = self.scheme.relations[hop]
+            target_type = self.scheme.node_types[hop + 1]
+            code = self.graph.schema.node_type_index(target_type)
+            next_frontier = set()
+            for current in frontier:
+                for neighbor in self.graph.neighbors(current, relation):
+                    if self.graph.node_type_codes[neighbor] == code:
+                        next_frontier.add(int(neighbor))
+            frontier = next_frontier
+            if not frontier:
+                break
+        return np.asarray(sorted(frontier), dtype=np.int64)

@@ -1,0 +1,92 @@
+"""node2vec's second-order biased random walk (Grover & Leskovec, 2016).
+
+The transition from ``prev -> current`` to the next node x is reweighted by
+
+    1/p  if x == prev           (return)
+    1    if x is a neighbor of prev  (BFS-like)
+    1/q  otherwise              (DFS-like)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.multiplex import MultiplexHeteroGraph
+from repro.sampling.random_walk import _merged_csr
+from repro.utils.rng import SeedLike, as_rng
+
+
+class Node2VecWalker:
+    """Biased walker over the type-erased graph.
+
+    Parameters
+    ----------
+    p:
+        Return parameter; larger p discourages immediately revisiting the
+        previous node.
+    q:
+        In-out parameter; q > 1 biases towards BFS, q < 1 towards DFS.
+    """
+
+    def __init__(self, graph: MultiplexHeteroGraph, p: float = 1.0, q: float = 1.0,
+                 rng: SeedLike = None):
+        if p <= 0 or q <= 0:
+            raise ValueError(f"p and q must be positive, got p={p}, q={q}")
+        self.graph = graph
+        self.p = p
+        self.q = q
+        self._rng = as_rng(rng)
+        self._indptr, self._indices = _merged_csr(graph)
+        # Per-node sorted neighbor arrays for O(log d) membership tests.
+        self._sorted_neighbors = {}
+
+    def _neighbors(self, node: int) -> np.ndarray:
+        return self._indices[self._indptr[node]: self._indptr[node + 1]]
+
+    def _neighbor_set(self, node: int) -> np.ndarray:
+        cached = self._sorted_neighbors.get(node)
+        if cached is None:
+            cached = np.sort(self._neighbors(node))
+            self._sorted_neighbors[node] = cached
+        return cached
+
+    def walk(self, start: int, length: int) -> List[int]:
+        """One biased walk of at most ``length`` nodes."""
+        path = [int(start)]
+        if length <= 1:
+            return path
+        first = self._neighbors(start)
+        if len(first) == 0:
+            return path
+        path.append(int(first[self._rng.integers(len(first))]))
+        while len(path) < length:
+            prev, current = path[-2], path[-1]
+            candidates = self._neighbors(current)
+            if len(candidates) == 0:
+                break
+            prev_neighbors = self._neighbor_set(prev)
+            weights = np.ones(len(candidates))
+            weights[candidates == prev] = 1.0 / self.p
+            # Membership of each candidate in prev's (sorted) neighbor list.
+            pos = np.searchsorted(prev_neighbors, candidates)
+            found = np.zeros(len(candidates), dtype=bool)
+            in_range = pos < len(prev_neighbors)
+            found[in_range] = prev_neighbors[pos[in_range]] == candidates[in_range]
+            far = ~found & (candidates != prev)
+            weights[far] = 1.0 / self.q
+            weights /= weights.sum()
+            path.append(int(self._rng.choice(candidates, p=weights)))
+        return path
+
+    def walks(self, num_walks: int, length: int,
+              nodes: Optional[np.ndarray] = None) -> List[List[int]]:
+        if nodes is None:
+            nodes = np.arange(self.graph.num_nodes)
+        result: List[List[int]] = []
+        for _ in range(num_walks):
+            shuffled = self._rng.permutation(nodes)
+            for start in shuffled:
+                result.append(self.walk(int(start), length))
+        return result

@@ -1,0 +1,72 @@
+"""Uniform random walks (DeepWalk-style) over one or all relationships."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.multiplex import MultiplexHeteroGraph
+from repro.sampling.adjacency import step_uniform
+from repro.utils.rng import SeedLike, as_rng
+
+
+def _merged_csr(graph: MultiplexHeteroGraph):
+    """CSR adjacency of the type-erased union of all relationships."""
+    src, dst = graph.merged_homogeneous_view()
+    all_src = np.concatenate([src, dst])
+    all_dst = np.concatenate([dst, src])
+    order = np.argsort(all_src, kind="stable")
+    counts = np.bincount(all_src, minlength=graph.num_nodes)
+    indptr = np.zeros(graph.num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, all_dst[order]
+
+
+class UniformRandomWalker:
+    """DeepWalk's sampler: walks over the type-erased graph.
+
+    Parameters
+    ----------
+    graph:
+        The multiplex graph; node/edge types are ignored, matching how the
+        paper evaluates homogeneous baselines (Sect. IV-B).
+    relation:
+        When given, restrict walks to that relationship's subgraph.
+    """
+
+    def __init__(self, graph: MultiplexHeteroGraph, relation: Optional[str] = None,
+                 rng: SeedLike = None):
+        self.graph = graph
+        self.relation = relation
+        self._rng = as_rng(rng)
+        if relation is None:
+            self._indptr, self._indices = _merged_csr(graph)
+        else:
+            self._indptr, self._indices = graph.csr(relation)
+
+    def walk(self, start: int, length: int) -> List[int]:
+        """One walk of at most ``length`` nodes starting at ``start``.
+
+        The walk stops early at a node without neighbors.
+        """
+        path = [int(start)]
+        current = np.asarray([start], dtype=np.int64)
+        for _ in range(length - 1):
+            current, moved = step_uniform(self._indptr, self._indices, current, self._rng)
+            if not moved[0]:
+                break
+            path.append(int(current[0]))
+        return path
+
+    def walks(self, num_walks: int, length: int,
+              nodes: Optional[np.ndarray] = None) -> List[List[int]]:
+        """``num_walks`` walks from every node (or from ``nodes``)."""
+        if nodes is None:
+            nodes = np.arange(self.graph.num_nodes)
+        result: List[List[int]] = []
+        for _ in range(num_walks):
+            shuffled = self._rng.permutation(nodes)
+            for start in shuffled:
+                result.append(self.walk(int(start), length))
+        return result

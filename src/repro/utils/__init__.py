@@ -1,0 +1,18 @@
+"""Small shared utilities: RNG handling, validation and text formatting."""
+
+from repro.utils.rng import as_rng, spawn_rng
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+)
+from repro.utils.tables import format_table
+
+__all__ = [
+    "as_rng",
+    "spawn_rng",
+    "check_fraction",
+    "check_positive",
+    "check_probability_vector",
+    "format_table",
+]

@@ -1,0 +1,48 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module renders them as aligned monospace tables so the output is directly
+comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Floats are formatted with ``float_fmt``; everything else with ``str``.
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(float_fmt.format(cell))
+            else:
+                cells.append(str(cell))
+        rendered.append(cells)
+
+    n_cols = max(len(row) for row in rendered)
+    widths = [0] * n_cols
+    for row in rendered:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for i, row in enumerate(rendered):
+        padded = [cell.ljust(widths[idx]) for idx, cell in enumerate(row)]
+        lines.append(" | ".join(padded).rstrip())
+        if i == 0:
+            lines.append(sep)
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Argument validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def check_positive(name: str, value: numbers.Real, strict: bool = True) -> None:
+    """Raise :class:`ReproError` unless ``value`` is (strictly) positive."""
+    if strict and value <= 0:
+        raise ReproError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ReproError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_fraction(name: str, value: numbers.Real) -> None:
+    """Raise :class:`ReproError` unless ``value`` lies in [0, 1]."""
+    if not 0.0 <= float(value) <= 1.0:
+        raise ReproError(f"{name} must lie in [0, 1], got {value!r}")
+
+
+def check_probability_vector(name: str, probs: np.ndarray, atol: float = 1e-6) -> None:
+    """Raise :class:`ReproError` unless ``probs`` is a probability vector."""
+    probs = np.asarray(probs, dtype=float)
+    if probs.ndim != 1:
+        raise ReproError(f"{name} must be 1-dimensional, got shape {probs.shape}")
+    if np.any(probs < -atol):
+        raise ReproError(f"{name} contains negative entries")
+    total = float(probs.sum())
+    if abs(total - 1.0) > atol:
+        raise ReproError(f"{name} must sum to 1, sums to {total}")

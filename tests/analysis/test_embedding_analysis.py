@@ -1,0 +1,123 @@
+"""Embedding diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cross_relation_similarity,
+    embedding_health,
+    neighborhood_alignment,
+)
+from repro.errors import EvaluationError
+
+
+class TableModel:
+    """Fixed per-relation embedding tables for testing."""
+
+    def __init__(self, tables):
+        self.tables = tables
+
+    def node_embeddings(self, nodes, relation):
+        return self.tables[relation][np.asarray(nodes, dtype=np.int64)]
+
+
+class TestEmbeddingHealth:
+    def test_healthy_embeddings(self):
+        rng = np.random.default_rng(0)
+        model = TableModel({"r": rng.normal(size=(20, 8))})
+        health = embedding_health(model, 20, "r")
+        assert health.finite
+        assert not health.collapsed
+        assert health.mean_norm > 0
+
+    def test_collapse_detected(self):
+        model = TableModel({"r": np.tile([1.0, 2.0], (20, 1))})
+        health = embedding_health(model, 20, "r")
+        assert health.collapsed
+
+    def test_nan_detected(self):
+        table = np.ones((10, 4))
+        table[3, 2] = np.nan
+        model = TableModel({"r": table})
+        assert not embedding_health(model, 10, "r").finite
+
+
+class TestCrossRelationSimilarity:
+    def test_identical_tables_give_one(self):
+        table = np.random.default_rng(0).normal(size=(15, 6))
+        model = TableModel({"a": table, "b": table.copy()})
+        matrix = cross_relation_similarity(model, 15, ["a", "b"])
+        assert matrix[0, 1] == pytest.approx(1.0)
+
+    def test_independent_tables_give_near_zero(self):
+        rng = np.random.default_rng(0)
+        model = TableModel({
+            "a": rng.normal(size=(500, 32)),
+            "b": rng.normal(size=(500, 32)),
+        })
+        matrix = cross_relation_similarity(model, 500, ["a", "b"])
+        assert abs(matrix[0, 1]) < 0.1
+
+    def test_empty_relations_rejected(self):
+        model = TableModel({})
+        with pytest.raises(EvaluationError):
+            cross_relation_similarity(model, 5, [])
+
+    def test_trained_hybridgnn_learns_distinct_spaces(self, taobao_dataset,
+                                                      taobao_split,
+                                                      tiny_hybrid_config):
+        """Relationship-specific embeddings should not be exact copies."""
+        from repro.core import HybridGNN
+
+        model = HybridGNN(
+            taobao_split.train_graph, taobao_dataset.all_schemes(),
+            tiny_hybrid_config, rng=0,
+        )
+        relations = list(taobao_split.train_graph.schema.relationships)
+        matrix = cross_relation_similarity(
+            model, taobao_split.train_graph.num_nodes, relations
+        )
+        off_diagonal = matrix[~np.eye(len(relations), dtype=bool)]
+        assert np.all(off_diagonal < 1.0 - 1e-6)
+
+
+class TestNeighborhoodAlignment:
+    def test_oracle_has_positive_margin(self, taobao_dataset):
+        graph = taobao_dataset.graph
+        n = graph.num_nodes
+        tables = {}
+        for relation in graph.schema.relationships:
+            table = np.zeros((n, n))
+            src, dst = graph.edges(relation)
+            table[src, dst] = 1.0
+            table[dst, src] = 1.0
+            table += 5.0 * np.eye(n)
+            tables[relation] = table
+        model = TableModel(tables)
+        margin = neighborhood_alignment(model, graph, "page_view", rng=0)
+        assert margin > 0.0
+
+    def test_random_model_has_small_margin(self, taobao_dataset):
+        rng = np.random.default_rng(0)
+        graph = taobao_dataset.graph
+        tables = {
+            rel: rng.normal(size=(graph.num_nodes, 16))
+            for rel in graph.schema.relationships
+        }
+        margin = neighborhood_alignment(TableModel(tables), graph, "page_view",
+                                        rng=1)
+        assert abs(margin) < 0.2
+
+    def test_empty_relation_rejected(self, small_schema):
+        from repro.graph import GraphBuilder
+
+        builder = GraphBuilder(small_schema)
+        builder.add_nodes("user", 2)
+        builder.add_nodes("item", 2)
+        builder.add_edge(0, 2, "view")
+        graph = builder.build()
+        tables = {rel: np.ones((4, 4)) for rel in graph.schema.relationships}
+        with pytest.raises(EvaluationError):
+            neighborhood_alignment(TableModel(tables), graph, "buy")

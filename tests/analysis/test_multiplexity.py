@@ -1,0 +1,82 @@
+"""Multiplexity measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    multiplexity_profile,
+    relationship_degree_correlation,
+    relationship_overlap_matrix,
+)
+
+
+class TestMultiplexityProfile:
+    def test_small_graph_counts(self, small_graph):
+        profile = multiplexity_profile(small_graph)
+        # Edges: view {03,04,13,15,24,26}, buy {03,14,25}; only (0,3) repeats.
+        assert profile.num_connected_pairs == 8
+        assert profile.num_multiplex_pairs == 1
+        assert profile.multiplexity_rate == pytest.approx(1 / 8)
+        assert profile.max_relationships_per_pair == 2
+
+    def test_jaccard_value(self, small_graph):
+        profile = multiplexity_profile(small_graph)
+        # |view ∩ buy| = 1, |view ∪ buy| = 8.
+        assert profile.relationship_jaccard[("view", "buy")] == pytest.approx(1 / 8)
+
+    def test_most_correlated(self, small_graph):
+        pair, value = multiplexity_profile(small_graph).most_correlated()
+        assert pair == ("view", "buy")
+        assert value == pytest.approx(1 / 8)
+
+    def test_alikes_are_multiplex(self, taobao_dataset):
+        """The dataset-alikes must genuinely carry the multiplexity property."""
+        profile = multiplexity_profile(taobao_dataset.graph)
+        assert profile.multiplexity_rate > 0.05
+        assert profile.max_relationships_per_pair >= 2
+
+    def test_single_relation_graph_not_multiplex(self, taobao_dataset):
+        sub = taobao_dataset.graph.relationship_subgraph(["page_view"])
+        profile = multiplexity_profile(sub)
+        assert profile.num_multiplex_pairs == 0
+        assert profile.relationship_jaccard == {}
+
+
+class TestOverlapMatrix:
+    def test_shape_and_symmetry(self, taobao_dataset):
+        matrix = relationship_overlap_matrix(taobao_dataset.graph)
+        num_rel = taobao_dataset.graph.schema.num_relationships
+        assert matrix.shape == (num_rel, num_rel)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_funnel_relations_overlap_most(self, taobao_dataset):
+        """purchase copies half its edges from add_to_cart by construction."""
+        graph = taobao_dataset.graph
+        relations = list(graph.schema.relationships)
+        matrix = relationship_overlap_matrix(graph)
+        i = relations.index("add_to_cart")
+        j = relations.index("purchase")
+        k = relations.index("favorite")
+        assert matrix[i, j] > matrix[i, k]
+
+
+class TestDegreeCorrelation:
+    def test_shape_and_bounds(self, taobao_dataset):
+        matrix = relationship_degree_correlation(taobao_dataset.graph)
+        assert np.all(matrix <= 1.0 + 1e-9) and np.all(matrix >= -1.0 - 1e-9)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_zero_variance_handled(self, small_schema):
+        from repro.graph import GraphBuilder
+
+        builder = GraphBuilder(small_schema)
+        builder.add_nodes("user", 3)
+        builder.add_nodes("item", 3)
+        builder.add_edge(0, 3, "view")
+        # 'buy' has no edges: zero-variance degree vector.
+        graph = builder.build()
+        matrix = relationship_degree_correlation(graph)
+        assert np.isfinite(matrix).all()

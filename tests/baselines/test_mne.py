@@ -1,0 +1,64 @@
+"""MNE bonus baseline (the paper's Fig. 1(b) archetype)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import MNE, MNEModule
+from repro.core import TrainerConfig
+
+
+@pytest.fixture
+def fast_tc():
+    return TrainerConfig(epochs=2, batch_size=256, num_walks=1, walk_length=6,
+                         window=2, patience=2)
+
+
+class TestMNEModule:
+    def test_forward_shape(self, taobao_split):
+        module = MNEModule(taobao_split.train_graph, base_dim=8, edge_dim=2, rng=0)
+        assert module(np.arange(6), "page_view").shape == (6, 8)
+
+    def test_relation_specific_correction(self, taobao_split):
+        module = MNEModule(taobao_split.train_graph, base_dim=8, edge_dim=2, rng=0)
+        a = module(np.arange(6), "page_view").data
+        b = module(np.arange(6), "purchase").data
+        assert not np.allclose(a, b)
+
+    def test_shared_base_dominates_structure(self, taobao_split):
+        """The difference between relations is only the low-dim correction."""
+        module = MNEModule(taobao_split.train_graph, base_dim=8, edge_dim=2, rng=0)
+        nodes = np.arange(10)
+        a = module(nodes, "page_view").data
+        base = module.base(nodes).data
+        correction = a - base
+        # The correction lives in a rank-<=2 subspace (edge_dim = 2).
+        rank = np.linalg.matrix_rank(correction, tol=1e-8)
+        assert rank <= 2
+
+    def test_cache(self, taobao_split):
+        module = MNEModule(taobao_split.train_graph, base_dim=8, edge_dim=2, rng=0)
+        first = module.node_embeddings(np.arange(4), "favorite")
+        second = module.node_embeddings(np.arange(4), "favorite")
+        np.testing.assert_array_equal(first, second)
+
+
+class TestMNEBaseline:
+    def test_fit_and_embed(self, taobao_dataset, taobao_split, fast_tc):
+        model = MNE(base_dim=8, edge_dim=2, trainer_config=fast_tc, rng=0)
+        model.fit(taobao_dataset, taobao_split)
+        emb = model.node_embeddings(np.arange(5), "page_view")
+        assert emb.shape == (5, 8)
+        assert np.all(np.isfinite(emb))
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            MNE(rng=0).node_embeddings(np.arange(2), "x")
+
+    def test_factory_integration(self):
+        from repro.experiments import make_model
+        from repro.experiments.profiles import SMOKE
+
+        model = make_model("MNE", SMOKE, seed=0)
+        assert model.name == "MNE"

@@ -1,0 +1,115 @@
+"""Multiplex/heterogeneous attention baselines: GATNE, HAN, MAGNN."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import GATNE, HAN, MAGNN, GATNEModule, HANModule, MAGNNModule
+from repro.baselines.han import MERGED_RELATION
+from repro.core import TrainerConfig
+from repro.eval import evaluate_link_prediction
+
+
+@pytest.fixture
+def fast_tc():
+    return TrainerConfig(epochs=2, batch_size=256, num_walks=1, walk_length=6,
+                         window=2, patience=2)
+
+
+class TestGATNE:
+    def test_fit_and_embed(self, taobao_dataset, taobao_split, fast_tc):
+        model = GATNE(base_dim=8, edge_dim=4, trainer_config=fast_tc, rng=0)
+        model.fit(taobao_dataset, taobao_split)
+        emb = model.node_embeddings(np.arange(5), "page_view")
+        assert emb.shape == (5, 8)
+
+    def test_relation_specific(self, taobao_dataset, taobao_split, fast_tc):
+        model = GATNE(base_dim=8, edge_dim=4, trainer_config=fast_tc, rng=0)
+        model.fit(taobao_dataset, taobao_split)
+        a = model.node_embeddings(np.arange(5), "page_view")
+        b = model.node_embeddings(np.arange(5), "purchase")
+        assert not np.allclose(a, b)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            GATNE(rng=0).node_embeddings(np.arange(2), "page_view")
+
+    def test_module_forward_shape(self, taobao_split):
+        module = GATNEModule(taobao_split.train_graph, base_dim=8, edge_dim=4, rng=0)
+        out = module(np.arange(6), "page_view")
+        assert out.shape == (6, 8)
+
+    def test_module_cache_roundtrip(self, taobao_split):
+        module = GATNEModule(taobao_split.train_graph, base_dim=8, edge_dim=4, rng=0)
+        first = module.node_embeddings(np.arange(4), "favorite")
+        second = module.node_embeddings(np.arange(4), "favorite")
+        np.testing.assert_array_equal(first, second)
+        module.invalidate_cache()
+        assert module._cache == {}
+
+
+class TestHAN:
+    def test_fit_and_embed(self, taobao_dataset, taobao_split, fast_tc):
+        model = HAN(dim=8, trainer_config=fast_tc, rng=0)
+        model.fit(taobao_dataset, taobao_split)
+        emb = model.node_embeddings(np.arange(5), "page_view")
+        assert emb.shape == (5, 8)
+
+    def test_relation_agnostic(self, taobao_dataset, taobao_split, fast_tc):
+        """HAN is non-multiplex: one embedding regardless of relation."""
+        model = HAN(dim=8, trainer_config=fast_tc, rng=0)
+        model.fit(taobao_dataset, taobao_split)
+        a = model.node_embeddings(np.arange(5), "page_view")
+        b = model.node_embeddings(np.arange(5), "purchase")
+        np.testing.assert_array_equal(a, b)
+
+    def test_merged_schemes(self, taobao_dataset):
+        schemes = HAN.merged_schemes(taobao_dataset)
+        assert all(s.relations == (MERGED_RELATION,) * len(s) for s in schemes)
+
+    def test_module_mixed_type_batch(self, taobao_dataset, taobao_split):
+        merged = taobao_split.train_graph.merged_relation_graph()
+        module = HANModule(
+            merged, HAN.merged_schemes(taobao_dataset), dim=8, fanout=3, rng=0
+        )
+        out = module(np.asarray([0, 100, 1, 101]))
+        assert out.shape == (4, 8)
+
+
+class TestMAGNN:
+    def test_fit_and_embed(self, taobao_dataset, taobao_split, fast_tc):
+        model = MAGNN(dim=8, num_instances=3, trainer_config=fast_tc, rng=0)
+        model.fit(taobao_dataset, taobao_split)
+        emb = model.node_embeddings(np.arange(5), "page_view")
+        assert emb.shape == (5, 8)
+
+    def test_module_forward_shape(self, taobao_dataset, taobao_split):
+        merged = taobao_split.train_graph.merged_relation_graph()
+        schemes = HAN.merged_schemes(taobao_dataset)
+        module = MAGNNModule(merged, schemes, dim=8, num_instances=3, rng=0)
+        out = module(np.arange(6))
+        assert out.shape == (6, 8)
+
+    def test_instance_sampler_paths_follow_scheme(self, taobao_dataset, taobao_split):
+        from repro.baselines.magnn import _InstanceSampler
+        from repro.sampling.adjacency import TypedAdjacencyCache
+
+        merged = taobao_split.train_graph.merged_relation_graph()
+        scheme = HAN.merged_schemes(taobao_dataset)[0]  # U-I-U on 'all'
+        sampler = _InstanceSampler(
+            merged, scheme, 4, np.random.default_rng(0), TypedAdjacencyCache(merged)
+        )
+        users = merged.nodes_of_type("user")[:3]
+        paths = sampler.sample(users)
+        assert paths.shape == (3, 4, 3)
+        # Positions follow the scheme's types (allowing self-fallback).
+        for b in range(3):
+            for m in range(4):
+                path = paths[b, m]
+                assert merged.node_type(int(path[0])) == "user"
+                assert merged.node_type(int(path[1])) in {"item", "user"}
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            MAGNN(rng=0).node_embeddings(np.arange(2), "x")

@@ -1,0 +1,98 @@
+"""Shallow embedding baselines: skip-gram machinery, DeepWalk, node2vec, LINE."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import LINE, DeepWalk, Node2Vec, SkipGramEmbeddings
+from repro.errors import TrainingError
+from repro.eval import evaluate_link_prediction
+from repro.sampling import UnigramNegativeSampler
+
+
+class TestSkipGramEmbeddings:
+    def test_invalid_construction(self):
+        with pytest.raises(TrainingError):
+            SkipGramEmbeddings(0, 8)
+        with pytest.raises(TrainingError):
+            SkipGramEmbeddings(10, 0)
+
+    def test_training_reduces_loss(self, taobao_dataset):
+        graph = taobao_dataset.graph
+        rng = np.random.default_rng(0)
+        # Pairs drawn from actual edges: learnable signal.
+        src, dst = graph.merged_homogeneous_view()
+        pairs = np.stack([src, dst], axis=1)
+        sampler = UnigramNegativeSampler(graph, rng=1)
+        model = SkipGramEmbeddings(graph.num_nodes, 16, rng=2)
+        losses = model.train(pairs, sampler, epochs=5)
+        assert losses[-1] < losses[0]
+
+    def test_empty_pairs_rejected(self, taobao_dataset):
+        sampler = UnigramNegativeSampler(taobao_dataset.graph, rng=0)
+        model = SkipGramEmbeddings(10, 4, rng=0)
+        with pytest.raises(TrainingError):
+            model.train(np.empty((0, 2), dtype=np.int64), sampler)
+
+    def test_connected_pairs_score_higher_after_training(self, taobao_dataset):
+        graph = taobao_dataset.graph
+        src, dst = graph.merged_homogeneous_view()
+        # Both directions, as real walk-context extraction produces.
+        pairs = np.stack(
+            [np.concatenate([src, dst]), np.concatenate([dst, src])], axis=1
+        )
+        sampler = UnigramNegativeSampler(graph, rng=1)
+        model = SkipGramEmbeddings(graph.num_nodes, 16, rng=2)
+        model.train(pairs, sampler, epochs=8)
+        rng = np.random.default_rng(3)
+        pos = np.einsum("ij,ij->i", model.w_in[src], model.w_out[dst]).mean()
+        rand_dst = rng.integers(0, graph.num_nodes, size=len(src))
+        neg = np.einsum("ij,ij->i", model.w_in[src], model.w_out[rand_dst]).mean()
+        assert pos > neg
+
+
+@pytest.mark.parametrize("model_cls", [DeepWalk, Node2Vec])
+class TestWalkBaselines:
+    def test_fit_and_embed(self, model_cls, taobao_dataset, taobao_split):
+        model = model_cls(dim=16, num_walks=2, walk_length=8, epochs=2, rng=0)
+        model.fit(taobao_dataset, taobao_split)
+        emb = model.node_embeddings(np.arange(5), "page_view")
+        assert emb.shape == (5, 16)
+        assert np.all(np.isfinite(emb))
+
+    def test_relation_agnostic(self, model_cls, taobao_dataset, taobao_split):
+        model = model_cls(dim=8, num_walks=1, walk_length=6, epochs=1, rng=0)
+        model.fit(taobao_dataset, taobao_split)
+        a = model.node_embeddings(np.arange(5), "page_view")
+        b = model.node_embeddings(np.arange(5), "purchase")
+        np.testing.assert_array_equal(a, b)
+
+    def test_unfitted_rejected(self, model_cls):
+        with pytest.raises(RuntimeError):
+            model_cls(rng=0).node_embeddings(np.arange(2), "page_view")
+
+    def test_beats_random_on_link_prediction(self, model_cls, taobao_dataset,
+                                             taobao_split):
+        model = model_cls(dim=16, num_walks=4, walk_length=10, epochs=3, rng=0)
+        model.fit(taobao_dataset, taobao_split)
+        report = evaluate_link_prediction(model, taobao_split.test)
+        assert report["roc_auc"] > 55.0
+
+
+class TestLINE:
+    def test_odd_dim_rejected(self):
+        with pytest.raises(TrainingError):
+            LINE(dim=15)
+
+    def test_fit_and_embed(self, taobao_dataset, taobao_split):
+        model = LINE(dim=16, epochs=3, rng=0)
+        model.fit(taobao_dataset, taobao_split)
+        emb = model.node_embeddings(np.arange(4), "page_view")
+        assert emb.shape == (4, 16)
+
+    def test_beats_random_on_link_prediction(self, taobao_dataset, taobao_split):
+        model = LINE(dim=16, epochs=10, rng=0)
+        model.fit(taobao_dataset, taobao_split)
+        report = evaluate_link_prediction(model, taobao_split.test)
+        assert report["roc_auc"] > 55.0

@@ -1,0 +1,70 @@
+"""Config validation for HybridGNN and its trainer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HybridGNNConfig, TrainerConfig
+from repro.errors import TrainingError
+
+
+class TestHybridGNNConfig:
+    def test_defaults_valid(self):
+        config = HybridGNNConfig()
+        assert config.aggregator == "mean"
+        assert config.use_hybrid_flows and config.use_randomized_exploration
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            HybridGNNConfig().base_dim = 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_dim": 0},
+            {"edge_dim": -1},
+            {"exploration_depth": 0},
+            {"exploration_fanout": 0},
+            {"num_negatives": 0},
+            {"metapath_fanouts": ()},
+            {"metapath_fanouts": (3, 0)},
+            {"aggregator": "median"},
+            {"random_flow_depth": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(TrainingError):
+            HybridGNNConfig(**kwargs)
+
+    def test_cannot_disable_both_flow_sources(self):
+        with pytest.raises(TrainingError):
+            HybridGNNConfig(
+                use_hybrid_flows=False, use_randomized_exploration=False
+            )
+
+    def test_each_ablation_variant_is_valid(self):
+        from repro.experiments import ABLATION_VARIANTS
+
+        for overrides in ABLATION_VARIANTS.values():
+            HybridGNNConfig(**overrides)  # must not raise
+
+
+class TestTrainerConfig:
+    def test_defaults_valid(self):
+        TrainerConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epochs": 0},
+            {"batch_size": 0},
+            {"learning_rate": 0.0},
+            {"num_walks": 0},
+            {"walk_length": 1},
+            {"window": 0},
+            {"patience": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(TrainingError):
+            TrainerConfig(**kwargs)

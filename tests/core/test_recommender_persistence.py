@@ -1,0 +1,156 @@
+"""Recommender facade and model persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EmbeddingStore,
+    HybridGNN,
+    HybridGNNConfig,
+    Recommender,
+    export_embeddings,
+    load_checkpoint_into,
+    load_embeddings,
+    save_checkpoint,
+)
+from repro.errors import EvaluationError, ReproError
+
+
+@pytest.fixture
+def model(taobao_dataset, taobao_split, tiny_hybrid_config):
+    return HybridGNN(
+        taobao_split.train_graph, taobao_dataset.all_schemes(),
+        tiny_hybrid_config, rng=0,
+    )
+
+
+@pytest.fixture
+def recommender(model, taobao_split):
+    return Recommender(model, taobao_split.train_graph)
+
+
+class TestRecommender:
+    def test_recommend_returns_k_items(self, recommender, taobao_split):
+        user = int(taobao_split.train_graph.nodes_of_type("user")[0])
+        recs = recommender.recommend(user, "page_view", k=5)
+        assert len(recs) == 5
+        scores = [r.score for r in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_recommendations_are_items(self, recommender, taobao_split):
+        graph = taobao_split.train_graph
+        user = int(graph.nodes_of_type("user")[0])
+        for rec in recommender.recommend(user, "page_view", k=5):
+            assert graph.node_type(rec.node) == "item"
+
+    def test_known_neighbors_excluded(self, recommender, taobao_split):
+        graph = taobao_split.train_graph
+        users = graph.nodes_of_type("user")
+        user = next(int(u) for u in users if graph.degree(int(u), "page_view") > 0)
+        known = set(graph.neighbors(user, "page_view").tolist())
+        recs = recommender.recommend(user, "page_view", k=10)
+        assert not {r.node for r in recs} & known
+
+    def test_include_known_when_asked(self, recommender, taobao_split):
+        graph = taobao_split.train_graph
+        users = graph.nodes_of_type("user")
+        user = next(int(u) for u in users if graph.degree(int(u), "page_view") > 2)
+        pool = recommender.candidates(user, "page_view", exclude_known=False)
+        known = set(graph.neighbors(user, "page_view").tolist())
+        assert known <= set(pool.tolist())
+
+    def test_isolated_source_needs_explicit_type(self, recommender, taobao_split):
+        graph = taobao_split.train_graph
+        users = graph.nodes_of_type("user")
+        isolated = [u for u in users if graph.degree(int(u), "purchase") == 0]
+        if not isolated:
+            pytest.skip("no isolated user under purchase")
+        user = int(isolated[0])
+        with pytest.raises(EvaluationError):
+            recommender.recommend(user, "purchase", k=3)
+        recs = recommender.recommend(user, "purchase", k=3, target_type="item")
+        assert len(recs) == 3
+
+    def test_invalid_k(self, recommender):
+        with pytest.raises(EvaluationError):
+            recommender.recommend(0, "page_view", k=0)
+
+    def test_batch(self, recommender, taobao_split):
+        users = taobao_split.train_graph.nodes_of_type("user")[:3]
+        lists = recommender.recommend_batch(users, "page_view", k=4)
+        assert len(lists) == 3
+        assert all(len(l) == 4 for l in lists)
+
+    def test_similar_nodes_same_type(self, recommender, taobao_split):
+        graph = taobao_split.train_graph
+        item = int(graph.nodes_of_type("item")[0])
+        similar = recommender.similar_nodes(item, "page_view", k=5)
+        assert len(similar) == 5
+        assert item not in {r.node for r in similar}
+        for rec in similar:
+            assert graph.node_type(rec.node) == "item"
+            assert -1.0 - 1e-9 <= rec.score <= 1.0 + 1e-9
+
+
+class TestCheckpoints:
+    def test_roundtrip(self, model, taobao_dataset, taobao_split,
+                       tiny_hybrid_config, tmp_path):
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        clone = HybridGNN(
+            taobao_split.train_graph, taobao_dataset.all_schemes(),
+            tiny_hybrid_config, rng=99,  # different init
+        )
+        load_checkpoint_into(clone, path)
+        for (name_a, param_a), (name_b, param_b) in zip(
+            model.named_parameters(), clone.named_parameters()
+        ):
+            assert name_a == name_b
+            np.testing.assert_array_equal(param_a.data, param_b.data)
+
+    def test_wrong_file_rejected(self, model, tmp_path):
+        path = tmp_path / "not_a_checkpoint.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ReproError):
+            load_checkpoint_into(model, path)
+
+
+class TestEmbeddingExport:
+    def test_roundtrip(self, model, taobao_split, tmp_path):
+        path = tmp_path / "embeddings.npz"
+        graph = taobao_split.train_graph
+        relations = list(graph.schema.relationships)
+        export_embeddings(model, graph.num_nodes, relations, path)
+        store = load_embeddings(path)
+        assert store.num_nodes == graph.num_nodes
+        assert set(store.relations) == set(relations)
+        nodes = np.arange(10)
+        np.testing.assert_allclose(
+            store.node_embeddings(nodes, "page_view"),
+            model.node_embeddings(nodes, "page_view"),
+        )
+
+    def test_store_usable_by_recommender(self, model, taobao_split, tmp_path):
+        path = tmp_path / "embeddings.npz"
+        graph = taobao_split.train_graph
+        export_embeddings(model, graph.num_nodes, graph.schema.relationships, path)
+        store = load_embeddings(path)
+        recommender = Recommender(store, graph)
+        user = int(graph.nodes_of_type("user")[0])
+        assert len(recommender.recommend(user, "page_view", k=3)) == 3
+
+    def test_unknown_relation_rejected(self, model, taobao_split, tmp_path):
+        path = tmp_path / "embeddings.npz"
+        graph = taobao_split.train_graph
+        export_embeddings(model, graph.num_nodes, ["page_view"], path)
+        store = load_embeddings(path)
+        with pytest.raises(ReproError):
+            store.node_embeddings(np.arange(2), "purchase")
+
+    def test_mismatched_tables_rejected(self):
+        with pytest.raises(ReproError):
+            EmbeddingStore({"a": np.zeros((3, 2)), "b": np.zeros((4, 2))})
+        with pytest.raises(ReproError):
+            EmbeddingStore({})

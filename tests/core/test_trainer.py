@@ -1,0 +1,153 @@
+"""SkipGramTrainer: pair generation, training loop, early stopping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HybridGNN,
+    HybridGNNConfig,
+    SkipGramTrainer,
+    TrainerConfig,
+)
+from repro.eval import evaluate_link_prediction
+
+
+@pytest.fixture
+def setup(taobao_dataset, taobao_split, tiny_hybrid_config, tiny_trainer_config):
+    model = HybridGNN(
+        taobao_split.train_graph, taobao_dataset.all_schemes(),
+        tiny_hybrid_config, rng=0,
+    )
+    trainer = SkipGramTrainer(
+        model, taobao_dataset.all_schemes(), taobao_split,
+        tiny_trainer_config, rng=1,
+    )
+    return model, trainer
+
+
+class TestPairGeneration:
+    def test_pairs_exist_for_every_relationship(self, setup, taobao_split):
+        _, trainer = setup
+        pairs = trainer.generate_pairs()
+        assert set(pairs) <= set(taobao_split.train_graph.schema.relationships)
+        assert len(pairs) >= 1
+        for relation_pairs in pairs.values():
+            assert relation_pairs.shape[1] == 2
+            assert len(relation_pairs) > 0
+
+    def test_pairs_reference_valid_nodes(self, setup, taobao_split):
+        _, trainer = setup
+        pairs = trainer.generate_pairs()
+        n = taobao_split.train_graph.num_nodes
+        for relation_pairs in pairs.values():
+            assert relation_pairs.min() >= 0
+            assert relation_pairs.max() < n
+
+
+class TestTraining:
+    def test_loss_decreases(self, setup):
+        _, trainer = setup
+        history = trainer.fit()
+        assert len(history.losses) >= 2
+        assert history.losses[-1] < history.losses[0]
+
+    def test_validation_tracked(self, setup):
+        _, trainer = setup
+        history = trainer.fit()
+        assert len(history.val_scores) == len(history.losses)
+        assert history.best_epoch >= 0
+        assert history.best_val_score > 0
+
+    def test_best_val_score_is_running_max(self, setup):
+        model, trainer = setup
+        history = trainer.fit()
+        assert history.best_val_score == pytest.approx(max(history.val_scores))
+        assert history.val_scores[history.best_epoch] == pytest.approx(
+            history.best_val_score
+        )
+
+    def test_best_parameters_restored(self, taobao_dataset, taobao_split,
+                                      tiny_hybrid_config):
+        """fit() must leave the model at the best-epoch snapshot.
+
+        Forward passes resample neighborhoods, so compare parameters, not
+        metric values: train once recording a snapshot each epoch, then
+        verify the final parameters equal the best epoch's snapshot.
+        """
+        model = HybridGNN(
+            taobao_split.train_graph, taobao_dataset.all_schemes(),
+            tiny_hybrid_config, rng=0,
+        )
+        trainer = SkipGramTrainer(
+            model, taobao_dataset.all_schemes(), taobao_split,
+            TrainerConfig(epochs=3, batch_size=128, num_walks=1, walk_length=6,
+                          window=2, patience=3),
+            rng=1,
+        )
+        snapshots = []
+        original_validate = trainer._validation_score
+
+        def recording_validate():
+            score = original_validate()
+            snapshots.append(model.state_dict())
+            return score
+
+        trainer._validation_score = recording_validate
+        history = trainer.fit()
+        best = snapshots[history.best_epoch]
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, best[name])
+
+    def test_training_improves_over_init(self, taobao_dataset, taobao_split,
+                                         tiny_hybrid_config):
+        model = HybridGNN(
+            taobao_split.train_graph, taobao_dataset.all_schemes(),
+            tiny_hybrid_config, rng=0,
+        )
+        before = evaluate_link_prediction(model, taobao_split.test)["roc_auc"]
+        trainer = SkipGramTrainer(
+            model, taobao_dataset.all_schemes(), taobao_split,
+            TrainerConfig(epochs=5, batch_size=128, num_walks=2, walk_length=8,
+                          window=3, patience=5),
+            rng=1,
+        )
+        trainer.fit()
+        model.invalidate_cache()
+        after = evaluate_link_prediction(model, taobao_split.test)["roc_auc"]
+        assert after > before + 5.0
+
+    def test_early_stopping_respects_patience(self, taobao_dataset, taobao_split,
+                                              tiny_hybrid_config):
+        model = HybridGNN(
+            taobao_split.train_graph, taobao_dataset.all_schemes(),
+            tiny_hybrid_config, rng=0,
+        )
+        # Zero learning rate: validation can never improve after epoch 1.
+        trainer = SkipGramTrainer(
+            model, taobao_dataset.all_schemes(), taobao_split,
+            TrainerConfig(epochs=50, batch_size=4096, num_walks=1, walk_length=4,
+                          window=1, patience=2, learning_rate=1e-12,
+                          max_batches_per_epoch=1),
+            rng=1,
+        )
+        history = trainer.fit()
+        assert history.stopped_early
+        assert len(history.losses) <= 5  # 1 best epoch + 2 patience + margin
+
+class TestMaxBatchesCap:
+    def test_single_batch_epoch_is_fast(self, taobao_dataset, taobao_split,
+                                        tiny_hybrid_config):
+        model = HybridGNN(
+            taobao_split.train_graph, taobao_dataset.all_schemes(),
+            tiny_hybrid_config, rng=0,
+        )
+        trainer = SkipGramTrainer(
+            model, taobao_dataset.all_schemes(), taobao_split,
+            TrainerConfig(epochs=1, batch_size=64, num_walks=1, walk_length=6,
+                          window=2, max_batches_per_epoch=1),
+            rng=1,
+        )
+        history = trainer.fit()
+        assert len(history.losses) == 1

@@ -1,0 +1,83 @@
+"""Relationship-specific semantics via community shifts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import RelationshipSpec, SyntheticConfig, generate_graph
+from repro.datasets.synthetic import SyntheticGenerator
+from repro.errors import DatasetError
+
+
+def test_negative_shift_rejected():
+    with pytest.raises(DatasetError):
+        SyntheticConfig(
+            node_counts={"user": 10},
+            relationships=(
+                RelationshipSpec("r", "user", "user", 10, community_shift=-1),
+            ),
+        )
+
+
+def test_shifted_relation_connects_different_pairs():
+    """With zero noise and no overlap, shift-0 and shift-1 relations connect
+    (almost) disjoint community pairs, so their edge sets barely overlap."""
+    config = SyntheticConfig(
+        node_counts={"user": 80, "item": 80},
+        relationships=(
+            RelationshipSpec("base", "user", "item", 300, noise=0.0),
+            RelationshipSpec("shifted", "user", "item", 300, noise=0.0,
+                             community_shift=1),
+        ),
+        num_communities=4,
+    )
+    graph = generate_graph(config, rng=0)
+    src, dst = graph.edges("shifted")
+    shared = sum(
+        graph.has_edge(int(u), int(v), "base") for u, v in zip(src, dst)
+    )
+    assert shared / len(src) < 0.05
+
+
+def test_shift_wraps_modulo_num_communities():
+    """shift == num_communities behaves like shift 0."""
+    def graph_with_shift(shift):
+        config = SyntheticConfig(
+            node_counts={"user": 60, "item": 60},
+            relationships=(
+                RelationshipSpec("r", "user", "item", 250, noise=0.0,
+                                 community_shift=shift),
+            ),
+            num_communities=4,
+        )
+        return generate_graph(config, rng=7)
+
+    g0 = graph_with_shift(0)
+    g4 = graph_with_shift(4)
+    np.testing.assert_array_equal(g0.edges("r")[0], g4.edges("r")[0])
+    np.testing.assert_array_equal(g0.edges("r")[1], g4.edges("r")[1])
+
+
+def test_zoo_alikes_have_shifted_relations():
+    """Each multi-relationship alike carries at least one shifted relation,
+    the property that separates multiplex-aware from relation-agnostic
+    models in the benchmark tables."""
+    from repro.datasets.zoo import amazon_like, kuaishou_like, taobao_like, youtube_like
+
+    # Inspect the generator configs indirectly: shifted relations produce low
+    # cross-relation pair sharing against the first (shift-0) relation.
+    ds = taobao_like(scale=0.25, seed=0)
+    graph = ds.graph
+    cart_src, cart_dst = graph.edges("add_to_cart")
+    shared = sum(
+        graph.has_edge(int(u), int(v), "page_view")
+        for u, v in zip(cart_src, cart_dst)
+    )
+    favorite_src, favorite_dst = graph.edges("favorite")
+    shared_favorite = sum(
+        graph.has_edge(int(u), int(v), "page_view")
+        for u, v in zip(favorite_src, favorite_dst)
+    )
+    # favorite overlaps page_view by construction; add_to_cart is shifted.
+    assert shared_favorite / len(favorite_src) > shared / len(cart_src)

@@ -1,0 +1,60 @@
+"""Dataset wrapper API and registry details."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, load_dataset
+from repro.graph import GraphBuilder, GraphSchema
+
+
+class TestDatasetWrapper:
+    def test_schemes_for_unknown_relation_still_parses(self, taobao_dataset):
+        """schemes_for builds intra-relationship schemes for any relation
+        string; validation against the schema happens at use time."""
+        schemes = taobao_dataset.schemes_for("page_view")
+        assert all(s.relations == ("page_view", "page_view") for s in schemes)
+
+    def test_all_schemes_covers_all_relations(self, taobao_dataset):
+        schemes = taobao_dataset.all_schemes()
+        assert set(schemes) == set(taobao_dataset.graph.schema.relationships)
+
+    def test_custom_dataset_roundtrip(self):
+        schema = GraphSchema(["a", "b"], ["r"])
+        builder = GraphBuilder(schema)
+        builder.add_nodes("a", 3)
+        builder.add_nodes("b", 3)
+        builder.add_edge(0, 3, "r")
+        graph = builder.build()
+        dataset = Dataset("custom", graph, ("A-B-A",), {"A": "a", "B": "b"})
+        schemes = dataset.schemes_for("r")
+        assert schemes[0].describe() == "a -r-> b -r-> a"
+
+
+class TestScaleInvariance:
+    def test_same_seed_same_graph(self):
+        a = load_dataset("kuaishou", scale=0.2, seed=5)
+        b = load_dataset("kuaishou", scale=0.2, seed=5)
+        assert a.graph.num_edges == b.graph.num_edges
+        for relation in a.graph.schema.relationships:
+            np.testing.assert_array_equal(
+                a.graph.edges(relation)[0], b.graph.edges(relation)[0]
+            )
+
+    def test_different_seed_different_graph(self):
+        a = load_dataset("amazon", scale=0.2, seed=1)
+        b = load_dataset("amazon", scale=0.2, seed=2)
+        same = all(
+            len(a.graph.edges(r)[0]) == len(b.graph.edges(r)[0])
+            and np.array_equal(a.graph.edges(r)[0], b.graph.edges(r)[0])
+            for r in a.graph.schema.relationships
+        )
+        assert not same
+
+    @pytest.mark.parametrize("name", ["amazon", "imdb", "kuaishou"])
+    def test_min_node_floor(self, name):
+        """Even at tiny scales every node type keeps at least a few nodes."""
+        ds = load_dataset(name, scale=0.01, seed=0)
+        for node_type in ds.graph.schema.node_types:
+            assert len(ds.graph.nodes_of_type(node_type)) >= 8

@@ -1,0 +1,144 @@
+"""Synthetic generator: schema fidelity, correlation and degree skew."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import RelationshipSpec, SyntheticConfig, generate_graph
+from repro.errors import DatasetError
+
+
+def simple_config(**overrides):
+    defaults = dict(
+        node_counts={"user": 60, "item": 50},
+        relationships=(
+            RelationshipSpec("view", "user", "item", 400),
+            RelationshipSpec("buy", "user", "item", 150, overlap_with="view", overlap=0.5),
+        ),
+        num_communities=4,
+    )
+    defaults.update(overrides)
+    return SyntheticConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_valid_config(self):
+        simple_config()  # must not raise
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(DatasetError):
+            SyntheticConfig(node_counts={}, relationships=())
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(DatasetError):
+            simple_config(node_counts={"user": 0, "item": 10})
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(DatasetError):
+            SyntheticConfig(
+                node_counts={"user": 10},
+                relationships=(RelationshipSpec("view", "user", "video", 10),),
+            )
+
+    def test_duplicate_relationship_rejected(self):
+        with pytest.raises(DatasetError):
+            SyntheticConfig(
+                node_counts={"user": 10},
+                relationships=(
+                    RelationshipSpec("r", "user", "user", 10),
+                    RelationshipSpec("r", "user", "user", 10),
+                ),
+            )
+
+    def test_overlap_must_reference_earlier_relationship(self):
+        with pytest.raises(DatasetError):
+            SyntheticConfig(
+                node_counts={"user": 10},
+                relationships=(
+                    RelationshipSpec("a", "user", "user", 10,
+                                     overlap_with="b", overlap=0.5),
+                    RelationshipSpec("b", "user", "user", 10),
+                ),
+            )
+
+    def test_bad_noise_rejected(self):
+        with pytest.raises(DatasetError):
+            simple_config(
+                relationships=(RelationshipSpec("view", "user", "item", 10, noise=1.5),)
+            )
+
+
+class TestGeneratedGraphs:
+    def test_schema_matches_config(self):
+        graph = generate_graph(simple_config(), rng=0)
+        assert graph.schema.node_types == ("user", "item")
+        assert graph.schema.relationships == ("view", "buy")
+        assert len(graph.nodes_of_type("user")) == 60
+        assert len(graph.nodes_of_type("item")) == 50
+
+    def test_edge_counts_close_to_target(self):
+        graph = generate_graph(simple_config(), rng=0)
+        assert graph.num_edges_in("view") >= 200  # at least half the target
+        assert graph.num_edges_in("buy") >= 75
+
+    def test_endpoint_types_respected(self):
+        graph = generate_graph(simple_config(), rng=0)
+        src, dst = graph.edges("view")
+        types = {graph.node_type(int(u)) for u in src} | {
+            graph.node_type(int(v)) for v in dst
+        }
+        assert types == {"user", "item"}
+
+    def test_deterministic_given_seed(self):
+        g1 = generate_graph(simple_config(), rng=123)
+        g2 = generate_graph(simple_config(), rng=123)
+        for relation in g1.schema.relationships:
+            np.testing.assert_array_equal(g1.edges(relation)[0], g2.edges(relation)[0])
+            np.testing.assert_array_equal(g1.edges(relation)[1], g2.edges(relation)[1])
+
+    def test_overlap_creates_multiplex_pairs(self):
+        """buy copies half its edges from view: the pairs must overlap."""
+        graph = generate_graph(simple_config(), rng=0)
+        buy_src, buy_dst = graph.edges("buy")
+        shared = sum(
+            graph.has_edge(int(u), int(v), "view")
+            for u, v in zip(buy_src, buy_dst)
+        )
+        assert shared / len(buy_src) > 0.3
+
+    def test_overlap_knob_increases_shared_pairs(self):
+        """overlap=0.5 must produce more shared pairs than overlap=0.
+
+        (Community structure alone already correlates relationships on small
+        graphs, so compare the two settings rather than an absolute level.)
+        """
+
+        def shared_fraction(overlap):
+            config = simple_config(
+                relationships=(
+                    RelationshipSpec("view", "user", "item", 400),
+                    RelationshipSpec(
+                        "buy", "user", "item", 150,
+                        overlap_with="view" if overlap else None,
+                        overlap=overlap,
+                    ),
+                )
+            )
+            graph = generate_graph(config, rng=0)
+            buy_src, buy_dst = graph.edges("buy")
+            shared = sum(
+                graph.has_edge(int(u), int(v), "view")
+                for u, v in zip(buy_src, buy_dst)
+            )
+            return shared / len(buy_src)
+
+        assert shared_fraction(0.8) > shared_fraction(0.0)
+
+    def test_degree_skew(self):
+        """Zipf popularity should produce a heavy-tailed degree distribution."""
+        config = simple_config(popularity_skew=1.0)
+        graph = generate_graph(config, rng=0)
+        degrees = np.sort(graph.degrees())[::-1]
+        top_share = degrees[: len(degrees) // 10].sum() / max(1, degrees.sum())
+        assert top_share > 0.2  # top-10% of nodes hold >20% of the edges

@@ -1,0 +1,130 @@
+"""The five dataset-alikes (Table II schemas) and the 85/5/10 edge split."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import available_datasets, load_dataset, split_edges
+from repro.errors import DatasetError
+
+
+class TestZooSchemas:
+    """Each alike must match its Table II row's (|O|, |R|) and schemes."""
+
+    @pytest.mark.parametrize(
+        "name,num_types,num_relations,category",
+        [
+            ("amazon", 1, 2, "G1"),
+            ("youtube", 1, 5, "G1"),
+            ("imdb", 3, 1, "G2"),
+            ("taobao", 2, 4, "G3"),
+            ("kuaishou", 3, 4, "G3"),
+        ],
+    )
+    def test_schema_shape(self, name, num_types, num_relations, category):
+        ds = load_dataset(name, scale=0.2, seed=0)
+        assert ds.graph.schema.num_node_types == num_types
+        assert ds.graph.schema.num_relationships == num_relations
+        assert ds.graph.schema.category() == category
+
+    def test_amazon_scheme(self):
+        ds = load_dataset("amazon", scale=0.2, seed=0)
+        schemes = ds.schemes_for("common_bought")
+        assert [s.describe() for s in schemes] == [
+            "item -common_bought-> item -common_bought-> item"
+        ]
+
+    def test_imdb_has_six_schemes(self):
+        ds = load_dataset("imdb", scale=0.2, seed=0)
+        assert len(ds.metapath_patterns) == 6
+        schemes = ds.schemes_for("credit")
+        lengths = sorted(len(s) for s in schemes)
+        assert lengths == [2, 2, 2, 2, 4, 4]  # four 2-hop + two 4-hop schemes
+
+    def test_kuaishou_schemes_cover_types(self):
+        ds = load_dataset("kuaishou", scale=0.2, seed=0)
+        schemes = ds.schemes_for("click")
+        starts = {s.start_type for s in schemes}
+        assert starts == {"user", "author", "video"}
+
+    def test_all_schemes_validate(self):
+        for name in available_datasets():
+            ds = load_dataset(name, scale=0.2, seed=0)
+            for relation, schemes in ds.all_schemes().items():
+                for scheme in schemes:
+                    scheme.validate(ds.graph.schema)
+
+    def test_scale_changes_size(self):
+        small = load_dataset("amazon", scale=0.2, seed=0)
+        large = load_dataset("amazon", scale=0.6, seed=0)
+        assert large.graph.num_nodes > small.graph.num_nodes
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("netflix")
+
+    def test_available_datasets(self):
+        assert available_datasets() == [
+            "amazon", "imdb", "kuaishou", "taobao", "youtube",
+        ]
+
+
+class TestEdgeSplit:
+    def test_split_fractions(self, taobao_dataset, taobao_split):
+        graph = taobao_dataset.graph
+        for relation in graph.schema.relationships:
+            total = graph.num_edges_in(relation)
+            train = taobao_split.train_graph.num_edges_in(relation)
+            assert train / total == pytest.approx(0.85, abs=0.05)
+
+    def test_eval_sets_are_balanced(self, taobao_split):
+        for edges in taobao_split.test.values():
+            assert edges.labels.sum() * 2 == len(edges.labels)
+
+    def test_positives_are_real_edges(self, taobao_dataset, taobao_split):
+        graph = taobao_dataset.graph
+        for relation, edges in taobao_split.test.items():
+            src, dst = edges.positives
+            for u, v in zip(src, dst):
+                assert graph.has_edge(int(u), int(v), relation)
+
+    def test_negatives_are_not_edges(self, taobao_dataset, taobao_split):
+        graph = taobao_dataset.graph
+        for relation, edges in taobao_split.test.items():
+            mask = edges.labels == 0
+            for u, v in zip(edges.src[mask], edges.dst[mask]):
+                assert not graph.has_edge(int(u), int(v), relation)
+
+    def test_negatives_preserve_destination_type(self, taobao_dataset, taobao_split):
+        """A model must not be able to spot negatives by node type."""
+        graph = taobao_dataset.graph
+        for edges in taobao_split.test.values():
+            n = len(edges.labels) // 2
+            pos_types = [graph.node_type(int(v)) for v in edges.dst[:n]]
+            neg_types = [graph.node_type(int(v)) for v in edges.dst[n:]]
+            assert pos_types == neg_types
+
+    def test_test_edges_not_in_train_graph(self, taobao_split):
+        train = taobao_split.train_graph
+        for relation, edges in taobao_split.test.items():
+            src, dst = edges.positives
+            for u, v in zip(src, dst):
+                assert not train.has_edge(int(u), int(v), relation)
+
+    def test_node_universe_preserved(self, taobao_dataset, taobao_split):
+        assert taobao_split.train_graph.num_nodes == taobao_dataset.graph.num_nodes
+
+    def test_deterministic(self, taobao_dataset):
+        s1 = split_edges(taobao_dataset.graph, rng=99)
+        s2 = split_edges(taobao_dataset.graph, rng=99)
+        for relation in taobao_dataset.graph.schema.relationships:
+            np.testing.assert_array_equal(
+                s1.test[relation].src, s2.test[relation].src
+            )
+
+    def test_invalid_fractions_rejected(self, taobao_dataset):
+        with pytest.raises(DatasetError):
+            split_edges(taobao_dataset.graph, train_fraction=0.0)
+        with pytest.raises(DatasetError):
+            split_edges(taobao_dataset.graph, train_fraction=0.9, val_fraction=0.2)

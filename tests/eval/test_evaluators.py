@@ -1,0 +1,168 @@
+"""Link-prediction / ranking evaluators, significance and degree analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import EvalEdges
+from repro.errors import EvaluationError
+from repro.eval import (
+    degree_bucketed_ranking,
+    edge_scores,
+    evaluate_link_prediction,
+    evaluate_ranking,
+    paired_t_test,
+)
+
+
+class OracleModel:
+    """Knows the true graph: e_u = adjacency row + c * one-hot(u).
+
+    Then e_u . e_v = |common neighbors| + 2c * A[u, v], so true edges score
+    at least 2c above non-edges with equally many common neighbors — a
+    near-perfect ranker by construction.
+    """
+
+    def __init__(self, graph, boost=10.0):
+        self.tables = {}
+        n = graph.num_nodes
+        for relation in graph.schema.relationships:
+            table = np.zeros((n, n))
+            src, dst = graph.edges(relation)
+            table[src, dst] = 1.0
+            table[dst, src] = 1.0
+            table += boost * np.eye(n)
+            self.tables[relation] = table
+
+    def node_embeddings(self, nodes, relation):
+        return self.tables[relation][np.asarray(nodes, dtype=np.int64)]
+
+
+class RandomModel:
+    def __init__(self, num_nodes, dim=16, seed=0):
+        self.table = np.random.default_rng(seed).normal(size=(num_nodes, dim))
+
+    def node_embeddings(self, nodes, relation):
+        return self.table[np.asarray(nodes, dtype=np.int64)]
+
+
+class TestLinkPredictionEvaluator:
+    def test_oracle_beats_random(self, taobao_dataset, taobao_split):
+        oracle = OracleModel(taobao_dataset.graph)
+        random = RandomModel(taobao_dataset.graph.num_nodes)
+        oracle_report = evaluate_link_prediction(oracle, taobao_split.test)
+        random_report = evaluate_link_prediction(random, taobao_split.test)
+        assert oracle_report["roc_auc"] > 95.0
+        assert abs(random_report["roc_auc"] - 50.0) < 12.0
+        assert oracle_report["roc_auc"] > random_report["roc_auc"]
+
+    def test_report_structure(self, taobao_dataset, taobao_split):
+        report = evaluate_link_prediction(
+            RandomModel(taobao_dataset.graph.num_nodes), taobao_split.test
+        )
+        assert set(report.per_relation) == set(taobao_split.test)
+        for metrics in report.per_relation.values():
+            assert set(metrics) == {"roc_auc", "pr_auc", "f1"}
+
+    def test_overall_is_mean_of_relations(self, taobao_dataset, taobao_split):
+        report = evaluate_link_prediction(
+            RandomModel(taobao_dataset.graph.num_nodes), taobao_split.test
+        )
+        manual = np.mean([m["roc_auc"] for m in report.per_relation.values()])
+        assert report["roc_auc"] == pytest.approx(manual)
+
+    def test_edge_scores_are_probabilities(self, taobao_dataset, taobao_split):
+        model = RandomModel(taobao_dataset.graph.num_nodes)
+        edges = next(iter(taobao_split.test.values()))
+        scores = edge_scores(model, edges)
+        assert np.all(scores >= 0) and np.all(scores <= 1)
+
+
+class TestRankingEvaluator:
+    def test_oracle_beats_random(self, taobao_dataset, taobao_split):
+        oracle = OracleModel(taobao_dataset.graph)
+        random = RandomModel(taobao_dataset.graph.num_nodes)
+        train = taobao_split.train_graph
+        oracle_rank = evaluate_ranking(oracle, train, taobao_split.test, k=10)
+        random_rank = evaluate_ranking(random, train, taobao_split.test, k=10)
+        assert oracle_rank["hr_at_k"] > random_rank["hr_at_k"]
+
+    def test_metrics_bounded(self, taobao_dataset, taobao_split):
+        report = evaluate_ranking(
+            RandomModel(taobao_dataset.graph.num_nodes),
+            taobao_split.train_graph, taobao_split.test, k=10,
+        )
+        for metrics in report.per_relation.values():
+            assert 0.0 <= metrics["pr_at_k"] <= 1.0
+            assert 0.0 <= metrics["hr_at_k"] <= 1.0
+
+    def test_per_node_collection(self, taobao_dataset, taobao_split):
+        report = evaluate_ranking(
+            RandomModel(taobao_dataset.graph.num_nodes),
+            taobao_split.train_graph, taobao_split.test, k=10,
+            keep_per_node=True,
+        )
+        assert report.per_node
+        for relation, nodes in report.per_node.items():
+            for metrics in nodes.values():
+                assert set(metrics) == {"pr_at_k", "hr_at_k"}
+
+    def test_max_sources_caps_work(self, taobao_dataset, taobao_split):
+        report = evaluate_ranking(
+            RandomModel(taobao_dataset.graph.num_nodes),
+            taobao_split.train_graph, taobao_split.test, k=10,
+            keep_per_node=True, max_sources=3,
+            rng=np.random.default_rng(0),
+        )
+        for nodes in report.per_node.values():
+            assert len(nodes) <= 3
+
+
+class TestSignificance:
+    def test_clear_difference_significant(self):
+        ours = [90.0, 91.0, 89.5, 90.5]
+        theirs = [80.0, 81.0, 79.5, 80.5]
+        result = paired_t_test(ours, theirs)
+        assert result.significant(0.01)
+        assert result.mean_difference == pytest.approx(10.0)
+
+    def test_identical_runs_not_significant(self):
+        result = paired_t_test([80.0, 81.0], [80.0, 81.0])
+        assert not result.significant()
+        assert result.p_value == 1.0
+
+    def test_constant_nonzero_difference(self):
+        result = paired_t_test([81.0, 82.0], [80.0, 81.0])
+        assert result.significant()
+
+    def test_noisy_overlap_not_significant(self):
+        rng = np.random.default_rng(0)
+        a = 80 + rng.normal(0, 5, size=4)
+        b = 80 + rng.normal(0, 5, size=4)
+        result = paired_t_test(a, b)
+        assert result.p_value > 0.01
+
+    def test_single_run_rejected(self):
+        with pytest.raises(EvaluationError):
+            paired_t_test([1.0], [2.0])
+
+
+class TestDegreeAnalysis:
+    def test_buckets_cover_range(self, taobao_dataset, taobao_split):
+        report = evaluate_ranking(
+            OracleModel(taobao_dataset.graph),
+            taobao_split.train_graph, taobao_split.test, k=10,
+            keep_per_node=True,
+        )
+        buckets = degree_bucketed_ranking(report, taobao_split.train_graph, 4)
+        assert len(buckets) == 4
+        assert sum(b.num_nodes for b in buckets) > 0
+        for bucket in buckets:
+            assert bucket.low <= bucket.high
+
+    def test_empty_report_gives_no_buckets(self, taobao_split):
+        from repro.eval.ranking import RankingReport
+
+        empty = RankingReport(k=10, per_relation={}, per_node={})
+        assert degree_bucketed_ranking(empty, taobao_split.train_graph) == []

@@ -1,0 +1,172 @@
+"""Metric implementations: ROC-AUC, PR-AUC, F1, PR@K, HR@K."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.eval import (
+    best_f1,
+    f1_at_threshold,
+    pr_auc,
+    precision_at_k,
+    recall_at_k,
+    roc_auc,
+)
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        labels = np.asarray([0, 0, 1, 1])
+        scores = np.asarray([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(labels, scores) == 1.0
+
+    def test_inverted_ranking(self):
+        labels = np.asarray([1, 1, 0, 0])
+        scores = np.asarray([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(labels, scores) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=5000)
+        scores = rng.random(5000)
+        assert abs(roc_auc(labels, scores) - 0.5) < 0.03
+
+    def test_ties_handled_via_average_ranks(self):
+        labels = np.asarray([0, 1, 0, 1])
+        scores = np.asarray([0.5, 0.5, 0.5, 0.5])
+        assert roc_auc(labels, scores) == 0.5
+
+    def test_monotone_transform_invariance(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, size=200)
+        labels[0], labels[1] = 0, 1
+        scores = rng.normal(size=200)
+        assert roc_auc(labels, scores) == pytest.approx(
+            roc_auc(labels, np.exp(scores))
+        )
+
+    def test_single_class_rejected(self):
+        with pytest.raises(EvaluationError):
+            roc_auc(np.ones(4), np.ones(4))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(EvaluationError):
+            roc_auc(np.ones(3), np.ones(4))
+
+    def test_non_binary_labels_rejected(self):
+        with pytest.raises(EvaluationError):
+            roc_auc(np.asarray([0, 2]), np.asarray([0.1, 0.2]))
+
+
+class TestPrAuc:
+    def test_perfect_ranking(self):
+        labels = np.asarray([0, 0, 1, 1])
+        scores = np.asarray([0.1, 0.2, 0.8, 0.9])
+        assert pr_auc(labels, scores) == 1.0
+
+    def test_all_ties_equals_prevalence(self):
+        labels = np.asarray([1, 0, 0, 0])
+        scores = np.zeros(4)
+        assert pr_auc(labels, scores) == pytest.approx(0.25)
+
+    def test_order_independent_under_ties(self):
+        """Regression: tied scores must not favour whichever label comes first."""
+        scores = np.ones(10)
+        forward = pr_auc(np.asarray([1] * 5 + [0] * 5), scores)
+        backward = pr_auc(np.asarray([0] * 5 + [1] * 5), scores)
+        assert forward == backward == pytest.approx(0.5)
+
+    def test_worst_ranking(self):
+        labels = np.asarray([1, 0, 0, 0])
+        scores = np.asarray([0.0, 1.0, 0.9, 0.8])
+        assert pr_auc(labels, scores) == pytest.approx(0.25)
+
+
+class TestF1:
+    def test_best_f1_perfect(self):
+        labels = np.asarray([0, 0, 1, 1])
+        scores = np.asarray([0.1, 0.2, 0.8, 0.9])
+        assert best_f1(labels, scores) == 1.0
+
+    def test_best_f1_lower_bound(self):
+        """Predict-all-positive yields F1 = 2p/(p+1); best F1 can't be below."""
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=500)
+        labels[0] = 1
+        scores = rng.random(500)
+        prevalence = labels.mean()
+        floor = 2 * prevalence / (prevalence + 1)
+        assert best_f1(labels, scores) >= floor - 1e-9
+
+    def test_best_f1_tie_order_independent(self):
+        scores = np.ones(8)
+        a = best_f1(np.asarray([1, 1, 1, 1, 0, 0, 0, 0]), scores)
+        b = best_f1(np.asarray([0, 0, 0, 0, 1, 1, 1, 1]), scores)
+        assert a == b
+
+    def test_f1_at_threshold(self):
+        labels = np.asarray([1, 1, 0, 0])
+        scores = np.asarray([0.9, 0.4, 0.6, 0.1])
+        # Threshold 0.5: tp=1, fp=1, fn=1 -> precision=0.5, recall=0.5.
+        assert f1_at_threshold(labels, scores, 0.5) == pytest.approx(0.5)
+
+    def test_f1_at_threshold_no_predictions(self):
+        labels = np.asarray([1, 0])
+        scores = np.asarray([0.1, 0.2])
+        assert f1_at_threshold(labels, scores, 0.9) == 0.0
+
+
+class TestTopK:
+    def test_precision_at_k(self):
+        hits = [True, False, True, False, False]
+        assert precision_at_k(hits, 5) == pytest.approx(0.4)
+
+    def test_precision_at_k_shorter_list(self):
+        assert precision_at_k([True], 10) == pytest.approx(0.1)
+
+    def test_recall_at_k(self):
+        hits = [True, False, True]
+        assert recall_at_k(hits, num_relevant=4, k=3) == pytest.approx(0.5)
+
+    def test_invalid_k(self):
+        with pytest.raises(EvaluationError):
+            precision_at_k([True], 0)
+        with pytest.raises(EvaluationError):
+            recall_at_k([True], 1, 0)
+
+    def test_invalid_relevant_count(self):
+        with pytest.raises(EvaluationError):
+            recall_at_k([True], 0, 5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.floats(0, 1, allow_nan=False)),
+                min_size=4, max_size=60))
+def test_roc_auc_complement_property(pairs):
+    """AUC(labels, scores) + AUC(1-labels, scores) == 1 (without ties)."""
+    labels = np.asarray([int(l) for l, _ in pairs])
+    scores = np.asarray([s for _, s in pairs])
+    if labels.sum() in (0, len(labels)):
+        return
+    if len(np.unique(scores)) != len(scores):
+        return
+    auc = roc_auc(labels, scores)
+    flipped = roc_auc(1 - labels, scores)
+    assert auc + flipped == pytest.approx(1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.floats(0, 1, allow_nan=False)),
+                min_size=4, max_size=60))
+def test_metrics_bounded(pairs):
+    labels = np.asarray([int(l) for l, _ in pairs])
+    scores = np.asarray([s for _, s in pairs])
+    if labels.sum() in (0, len(labels)):
+        return
+    assert 0.0 <= roc_auc(labels, scores) <= 1.0
+    assert 0.0 <= pr_auc(labels, scores) <= 1.0
+    assert 0.0 <= best_f1(labels, scores) <= 1.0

@@ -1,0 +1,98 @@
+"""NDCG@K, MRR and MAP@K ranking metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.eval import (
+    average_precision_at_k,
+    ndcg_at_k,
+    reciprocal_rank,
+)
+
+
+class TestNdcg:
+    def test_perfect_ranking_is_one(self):
+        assert ndcg_at_k([True, True, False], num_relevant=2, k=3) == pytest.approx(1.0)
+
+    def test_no_hits_is_zero(self):
+        assert ndcg_at_k([False, False], num_relevant=2, k=2) == 0.0
+
+    def test_later_hits_score_lower(self):
+        early = ndcg_at_k([True, False, False], 1, 3)
+        late = ndcg_at_k([False, False, True], 1, 3)
+        assert early > late
+        assert early == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # One relevant item at rank 2: DCG = 1/log2(3), IDCG = 1.
+        expected = 1.0 / np.log2(3)
+        assert ndcg_at_k([False, True], 1, 2) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            ndcg_at_k([True], 0, 3)
+        with pytest.raises(EvaluationError):
+            ndcg_at_k([True], 1, 0)
+
+
+class TestReciprocalRank:
+    def test_first_position(self):
+        assert reciprocal_rank([True, False]) == 1.0
+
+    def test_third_position(self):
+        assert reciprocal_rank([False, False, True]) == pytest.approx(1 / 3)
+
+    def test_no_hit(self):
+        assert reciprocal_rank([False, False]) == 0.0
+
+    def test_only_first_hit_counts(self):
+        assert reciprocal_rank([False, True, True]) == pytest.approx(0.5)
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision_at_k([True, True], 2, 2) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # Hits at ranks 1 and 3 with 2 relevant: AP = (1/1 + 2/3) / 2.
+        expected = (1.0 + 2.0 / 3.0) / 2.0
+        assert average_precision_at_k([True, False, True], 2, 3) == pytest.approx(expected)
+
+    def test_no_hits(self):
+        assert average_precision_at_k([False, False], 3, 2) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            average_precision_at_k([True], 0, 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=30), st.integers(1, 10))
+def test_ranking_metrics_bounded(hits, num_relevant):
+    k = len(hits)
+    assert 0.0 <= ndcg_at_k(hits, num_relevant, k) <= 1.0 + 1e-9
+    assert 0.0 <= reciprocal_rank(hits) <= 1.0
+    assert 0.0 <= average_precision_at_k(hits, num_relevant, k) <= 1.0 + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.booleans(), min_size=2, max_size=20))
+def test_ndcg_monotone_under_swap_towards_front(hits):
+    """Swapping a hit one position earlier never lowers NDCG."""
+    hits = list(hits)
+    num_relevant = max(1, sum(hits))
+    k = len(hits)
+    for i in range(1, len(hits)):
+        if hits[i] and not hits[i - 1]:
+            improved = hits.copy()
+            improved[i - 1], improved[i] = improved[i], improved[i - 1]
+            assert (
+                ndcg_at_k(improved, num_relevant, k)
+                >= ndcg_at_k(hits, num_relevant, k) - 1e-12
+            )
+            break

@@ -1,0 +1,122 @@
+"""Experiment harness: profiles, model factory, runner and table renderers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HybridGNNConfig, TrainerConfig
+from repro.experiments import (
+    ABLATION_VARIANTS,
+    MODEL_NAMES,
+    ExperimentProfile,
+    get_profile,
+    make_model,
+    mean_row,
+    prepare_split,
+    run_single,
+)
+from repro.experiments.profiles import PAPER, SMOKE
+from repro.utils.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def tiny_profile():
+    return ExperimentProfile(
+        name="tiny", scale=0.2, seeds=1,
+        trainer=TrainerConfig(epochs=1, batch_size=512, num_walks=1,
+                              walk_length=5, window=2, patience=1,
+                              max_batches_per_epoch=3),
+        hybrid=HybridGNNConfig(base_dim=8, edge_dim=4,
+                               metapath_fanouts=(2, 2, 2, 2, 2, 2),
+                               exploration_fanout=2, exploration_depth=1),
+        shallow_epochs=1, shallow_walks=1, fullbatch_epochs=3, sage_epochs=1,
+        ranking_max_sources=5,
+    )
+
+
+class TestProfiles:
+    def test_default_profile_is_smoke(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert get_profile().name == "smoke"
+
+    def test_env_var_selects_paper(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "paper")
+        assert get_profile().name == "paper"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            get_profile("debug")
+
+    def test_paper_profile_is_larger(self):
+        assert PAPER.scale > SMOKE.scale
+        assert PAPER.trainer.epochs > SMOKE.trainer.epochs
+
+
+class TestModelFactory:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_all_models_constructible(self, name, tiny_profile):
+        model = make_model(name, tiny_profile, seed=0)
+        assert hasattr(model, "fit")
+        assert hasattr(model, "node_embeddings")
+
+    def test_unknown_model_rejected(self, tiny_profile):
+        with pytest.raises(ValueError):
+            make_model("PinSage", tiny_profile, seed=0)
+
+    def test_ablation_overrides_apply(self, tiny_profile):
+        model = make_model(
+            "HybridGNN", tiny_profile, seed=0,
+            hybrid_overrides={"use_randomized_exploration": False},
+        )
+        assert not model.config.use_randomized_exploration
+
+    def test_all_ablation_variants_constructible(self, tiny_profile):
+        for overrides in ABLATION_VARIANTS.values():
+            make_model("HybridGNN", tiny_profile, seed=0,
+                       hybrid_overrides=overrides)
+
+
+class TestRunner:
+    def test_prepare_split_deterministic(self, tiny_profile):
+        d1, s1 = prepare_split("amazon", tiny_profile, seed=3)
+        d2, s2 = prepare_split("amazon", tiny_profile, seed=3)
+        assert d1.graph.num_edges == d2.graph.num_edges
+        for relation in d1.graph.schema.relationships:
+            np.testing.assert_array_equal(
+                s1.test[relation].src, s2.test[relation].src
+            )
+
+    def test_run_single_produces_all_metrics(self, tiny_profile):
+        result = run_single("DeepWalk", "amazon", seed=0, profile=tiny_profile)
+        row = result.row()
+        assert len(row) == 5
+        assert all(np.isfinite(v) for v in row)
+        assert 0 <= row[0] <= 100  # ROC-AUC in percent
+        assert 0 <= row[3] <= 1    # PR@10 as a fraction
+
+    def test_run_single_hybrid(self, tiny_profile):
+        result = run_single("HybridGNN", "taobao", seed=0, profile=tiny_profile)
+        assert result.model == "HybridGNN"
+        assert len(result.link.per_relation) >= 1
+
+    def test_mean_row(self, tiny_profile):
+        r = run_single("DeepWalk", "amazon", seed=0, profile=tiny_profile)
+        averaged = mean_row([r, r])
+        np.testing.assert_allclose(averaged, r.row())
+
+
+class TestRenderers:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xyz", 3.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "xyz" in text
+        assert "2.5000" in text
+
+    def test_render_link_prediction(self):
+        from repro.experiments.tables import render_link_prediction
+
+        results = {"amazon": {"DeepWalk": [90.0, 89.0, 80.0, 0.01, 0.04]}}
+        text = render_link_prediction(results, "Table III")
+        assert "amazon" in text and "DeepWalk" in text

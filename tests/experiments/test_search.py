@@ -1,0 +1,75 @@
+"""Grid search over HybridGNN hyper-parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HybridGNNConfig, TrainerConfig
+from repro.errors import TrainingError
+from repro.experiments import ExperimentProfile
+from repro.experiments.search import GridSearch
+
+
+@pytest.fixture(scope="module")
+def micro_profile():
+    return ExperimentProfile(
+        name="micro", scale=0.15, seeds=1,
+        trainer=TrainerConfig(epochs=1, batch_size=1024, num_walks=1,
+                              walk_length=5, window=2, patience=1,
+                              max_batches_per_epoch=2),
+        hybrid=HybridGNNConfig(base_dim=8, edge_dim=4,
+                               metapath_fanouts=(2, 2, 2, 2, 2, 2),
+                               exploration_fanout=2, exploration_depth=1,
+                               eval_samples=1),
+        shallow_epochs=1, shallow_walks=1, fullbatch_epochs=2, sage_epochs=1,
+        ranking_max_sources=4,
+    )
+
+
+class TestGridConstruction:
+    def test_points_cartesian_product(self, micro_profile):
+        search = GridSearch(
+            {"base_dim": [8, 16], "num_negatives": [1, 3]},
+            profile=micro_profile, rng=0,
+        )
+        points = search.points()
+        assert len(points) == 4
+        assert {"base_dim": 8, "num_negatives": 3} in points
+
+    def test_deterministic_order(self, micro_profile):
+        grid = {"base_dim": [8, 16], "exploration_depth": [1, 2]}
+        a = GridSearch(grid, profile=micro_profile, rng=0).points()
+        b = GridSearch(grid, profile=micro_profile, rng=1).points()
+        assert a == b
+
+    def test_empty_grid_rejected(self, micro_profile):
+        with pytest.raises(TrainingError):
+            GridSearch({}, profile=micro_profile)
+        with pytest.raises(TrainingError):
+            GridSearch({"base_dim": []}, profile=micro_profile)
+
+
+class TestRun:
+    def test_runs_every_point_and_sorts(self, micro_profile):
+        from repro.experiments.runner import prepare_split
+
+        dataset, split = prepare_split("amazon", micro_profile, seed=0)
+        search = GridSearch(
+            {"num_negatives": [1, 2]}, profile=micro_profile, rng=0
+        )
+        outcome = search.run(dataset, split)
+        assert len(outcome.results) == 2
+        scores = [r.val_score for r in outcome.results]
+        assert scores == sorted(scores, reverse=True)
+        assert outcome.best.overrides in ({"num_negatives": 1},
+                                          {"num_negatives": 2})
+
+    def test_rows_render(self, micro_profile):
+        from repro.experiments.runner import prepare_split
+
+        dataset, split = prepare_split("amazon", micro_profile, seed=0)
+        search = GridSearch({"base_dim": [8]}, profile=micro_profile, rng=0)
+        outcome = search.run(dataset, split)
+        rows = outcome.as_rows()
+        assert len(rows) == 1
+        assert "base_dim=8" in rows[0][0]

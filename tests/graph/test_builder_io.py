@@ -1,0 +1,137 @@
+"""GraphBuilder validation and graph serialisation round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, SchemaError
+from repro.graph import (
+    GraphBuilder,
+    GraphSchema,
+    compute_statistics,
+    degree_clusters,
+    graph_from_edge_arrays,
+    load_graph,
+    save_graph,
+)
+
+
+class TestBuilder:
+    def test_add_node_returns_sequential_ids(self, small_schema):
+        builder = GraphBuilder(small_schema)
+        assert builder.add_node("user") == 0
+        assert builder.add_node("item") == 1
+
+    def test_add_nodes_bulk(self, small_schema):
+        builder = GraphBuilder(small_schema)
+        ids = builder.add_nodes("user", 5)
+        np.testing.assert_array_equal(ids, np.arange(5))
+        assert builder.num_nodes == 5
+
+    def test_negative_count_rejected(self, small_schema):
+        with pytest.raises(GraphError):
+            GraphBuilder(small_schema).add_nodes("user", -1)
+
+    def test_unknown_type_rejected(self, small_schema):
+        with pytest.raises(SchemaError):
+            GraphBuilder(small_schema).add_node("video")
+
+    def test_edge_to_missing_node_rejected(self, small_schema):
+        builder = GraphBuilder(small_schema)
+        builder.add_nodes("user", 2)
+        with pytest.raises(GraphError):
+            builder.add_edge(0, 9, "view")
+
+    def test_self_loop_rejected(self, small_schema):
+        builder = GraphBuilder(small_schema)
+        builder.add_nodes("user", 2)
+        with pytest.raises(GraphError):
+            builder.add_edge(1, 1, "view")
+
+    def test_unknown_relation_rejected(self, small_schema):
+        builder = GraphBuilder(small_schema)
+        builder.add_nodes("user", 2)
+        with pytest.raises(SchemaError):
+            builder.add_edge(0, 1, "like")
+
+    def test_duplicate_edges_deduplicated(self, small_schema):
+        builder = GraphBuilder(small_schema)
+        builder.add_nodes("user", 2)
+        builder.add_nodes("item", 1)
+        builder.add_edge(0, 2, "view")
+        builder.add_edge(2, 0, "view")  # same undirected edge
+        builder.add_edge(0, 2, "view")
+        graph = builder.build()
+        assert graph.num_edges_in("view") == 1
+
+    def test_empty_build_rejected(self, small_schema):
+        with pytest.raises(GraphError):
+            GraphBuilder(small_schema).build()
+
+    def test_graph_from_edge_arrays(self, small_schema):
+        graph = graph_from_edge_arrays(
+            small_schema, [0, 0, 1], {"view": ([0], [2]), "buy": ([1], [2])}
+        )
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+
+class TestIO:
+    def test_roundtrip(self, small_graph, tmp_path):
+        path = tmp_path / "graph.tsv"
+        save_graph(small_graph, path)
+        loaded = load_graph(path)
+        assert loaded.num_nodes == small_graph.num_nodes
+        assert loaded.schema.node_types == small_graph.schema.node_types
+        assert loaded.schema.relationships == small_graph.schema.relationships
+        for relation in small_graph.schema.relationships:
+            assert loaded.num_edges_in(relation) == small_graph.num_edges_in(relation)
+            for node in range(small_graph.num_nodes):
+                np.testing.assert_array_equal(
+                    np.sort(loaded.neighbors(node, relation)),
+                    np.sort(small_graph.neighbors(node, relation)),
+                )
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("0\t1\tview\n")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+    def test_malformed_line_rejected(self, small_graph, tmp_path):
+        path = tmp_path / "graph.tsv"
+        save_graph(small_graph, path)
+        with path.open("a") as handle:
+            handle.write("not-an-edge\n")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+    def test_unknown_relation_in_file_rejected(self, small_graph, tmp_path):
+        path = tmp_path / "graph.tsv"
+        save_graph(small_graph, path)
+        with path.open("a") as handle:
+            handle.write("0\t1\tlike\n")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+
+class TestStatistics:
+    def test_table2_row(self, small_graph):
+        stats = compute_statistics(small_graph)
+        assert stats.as_row() == (7, 9, 2, 2)
+        assert stats.nodes_per_type == {"user": 3, "item": 4}
+        assert stats.edges_per_relationship == {"view": 6, "buy": 3}
+        assert stats.max_degree >= 1
+
+    def test_degree_clusters_partition_active_nodes(self, small_graph):
+        clusters = degree_clusters(small_graph, num_clusters=3)
+        all_nodes = np.concatenate([nodes for _, _, nodes in clusters])
+        active = np.flatnonzero(small_graph.degrees() >= 1)
+        assert sorted(all_nodes.tolist()) == sorted(active.tolist())
+
+    def test_degree_clusters_respect_bounds(self, small_graph):
+        degrees = small_graph.degrees()
+        for low, high, nodes in degree_clusters(small_graph, num_clusters=2):
+            for node in nodes:
+                assert low <= degrees[node] <= high

@@ -1,0 +1,109 @@
+"""Metapath scheme enumeration and suggestion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MetapathError
+from repro.graph import (
+    count_schemes_by_length,
+    enumerate_schemes,
+    observed_type_triples,
+    suggest_schemes,
+)
+
+
+class TestObservedTriples:
+    def test_small_graph(self, small_graph):
+        triples = observed_type_triples(small_graph)
+        assert ("user", "view", "item") in triples
+        assert ("item", "view", "user") in triples  # symmetric
+        assert ("user", "buy", "item") in triples
+        # No user-user edges exist.
+        assert ("user", "view", "user") not in triples
+
+
+class TestEnumerateSchemes:
+    def test_length_one(self, small_graph):
+        schemes = enumerate_schemes(small_graph, 1)
+        described = {s.describe() for s in schemes}
+        assert "user -view-> item" in described
+        assert "item -buy-> user" in described
+        assert all(len(s) == 1 for s in schemes)
+
+    def test_length_bound_respected(self, small_graph):
+        schemes = enumerate_schemes(small_graph, 3)
+        assert max(len(s) for s in schemes) == 3
+
+    def test_every_scheme_is_supported(self, taobao_dataset):
+        graph = taobao_dataset.graph
+        triples = observed_type_triples(graph)
+        for scheme in enumerate_schemes(graph, 2):
+            for i, relation in enumerate(scheme.relations):
+                triple = (scheme.node_types[i], relation, scheme.node_types[i + 1])
+                assert triple in triples
+
+    def test_start_type_filter(self, small_graph):
+        schemes = enumerate_schemes(small_graph, 2, start_type="item")
+        assert all(s.start_type == "item" for s in schemes)
+
+    def test_intra_only_filter(self, small_graph):
+        schemes = enumerate_schemes(small_graph, 2, intra_only=True)
+        assert all(s.is_intra_relationship for s in schemes)
+        all_schemes = enumerate_schemes(small_graph, 2)
+        assert len(all_schemes) > len(schemes)  # inter-relationship ones exist
+
+    def test_symmetric_only_filter(self, small_graph):
+        schemes = enumerate_schemes(small_graph, 2, symmetric_only=True)
+        assert schemes
+        assert all(s.is_symmetric for s in schemes)
+
+    def test_table2_scheme_is_found(self, taobao_dataset):
+        """The paper's U-I-U scheme must appear among the enumerated ones."""
+        schemes = enumerate_schemes(
+            taobao_dataset.graph, 2, start_type="user",
+            intra_only=True, symmetric_only=True,
+        )
+        described = {s.describe() for s in schemes}
+        assert "user -page_view-> item -page_view-> user" in described
+
+    def test_invalid_length_rejected(self, small_graph):
+        with pytest.raises(MetapathError):
+            enumerate_schemes(small_graph, 0)
+
+
+class TestBlowupCurve:
+    def test_counts_grow_with_length(self, taobao_dataset):
+        """The combinatorial blowup the paper's Sect. I points at."""
+        counts = count_schemes_by_length(taobao_dataset.graph, 3)
+        assert counts[2] > counts[1]
+        assert counts[3] > counts[2]
+
+    def test_counts_sum_matches_enumeration(self, small_graph):
+        counts = count_schemes_by_length(small_graph, 2)
+        assert sum(counts.values()) == len(enumerate_schemes(small_graph, 2))
+
+
+class TestSuggestSchemes:
+    def test_suggestions_are_relation_specific(self, taobao_dataset):
+        suggestions = suggest_schemes(
+            taobao_dataset.graph, "page_view", max_length=2, rng=0
+        )
+        assert suggestions
+        for suggestion in suggestions:
+            assert suggestion.scheme.relations[0] == "page_view"
+            assert 0.0 <= suggestion.coverage <= 1.0
+
+    def test_sorted_by_coverage(self, taobao_dataset):
+        suggestions = suggest_schemes(
+            taobao_dataset.graph, "page_view", max_length=2, rng=0
+        )
+        coverages = [s.coverage for s in suggestions]
+        assert coverages == sorted(coverages, reverse=True)
+
+    def test_dense_relation_has_high_coverage(self, taobao_dataset):
+        suggestions = suggest_schemes(
+            taobao_dataset.graph, "page_view", max_length=2, rng=0
+        )
+        assert suggestions[0].coverage > 0.5

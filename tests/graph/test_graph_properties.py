@@ -1,0 +1,134 @@
+"""Property-based tests of the graph substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import GraphBuilder, GraphSchema
+
+
+@st.composite
+def random_multiplex_graph(draw):
+    """A random small multiplex heterogeneous graph plus its raw edge list."""
+    num_types = draw(st.integers(1, 3))
+    num_relations = draw(st.integers(1, 3))
+    schema = GraphSchema(
+        [f"t{i}" for i in range(num_types)],
+        [f"r{i}" for i in range(num_relations)],
+    )
+    builder = GraphBuilder(schema)
+    counts = [draw(st.integers(2, 6)) for _ in range(num_types)]
+    for node_type, count in zip(schema.node_types, counts):
+        builder.add_nodes(node_type, count)
+    total = sum(counts)
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, total - 1),
+                st.integers(0, total - 1),
+                st.integers(0, num_relations - 1),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    added = []
+    for u, v, r in edges:
+        if u != v:
+            relation = schema.relationships[r]
+            builder.add_edge(u, v, relation)
+            added.append((min(u, v), max(u, v), relation))
+    return builder.build(), set(added)
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_multiplex_graph())
+def test_adjacency_is_symmetric(data):
+    graph, _ = data
+    for relation in graph.schema.relationships:
+        for node in range(graph.num_nodes):
+            for neighbor in graph.neighbors(node, relation):
+                assert node in graph.neighbors(int(neighbor), relation)
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_multiplex_graph())
+def test_has_edge_agrees_with_edge_list(data):
+    graph, added = data
+    for u, v, relation in added:
+        assert graph.has_edge(u, v, relation)
+        assert graph.has_edge(v, u, relation)
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_multiplex_graph())
+def test_degree_sums_twice_edge_count(data):
+    graph, _ = data
+    for relation in graph.schema.relationships:
+        degrees = graph.degrees(relation)
+        assert degrees.sum() == 2 * graph.num_edges_in(relation)
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_multiplex_graph())
+def test_edge_count_matches_deduplicated_list(data):
+    graph, added = data
+    per_relation = {}
+    for u, v, relation in added:
+        per_relation.setdefault(relation, set()).add((u, v))
+    for relation, pairs in per_relation.items():
+        assert graph.num_edges_in(relation) == len(pairs)
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_multiplex_graph())
+def test_nodes_of_type_partition_the_node_set(data):
+    graph, _ = data
+    seen = []
+    for node_type in graph.schema.node_types:
+        seen.extend(graph.nodes_of_type(node_type).tolist())
+    assert sorted(seen) == list(range(graph.num_nodes))
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=random_multiplex_graph())
+def test_io_roundtrip_preserves_structure(tmp_path_factory, data):
+    from repro.graph import load_graph, save_graph
+
+    graph, _ = data
+    path = tmp_path_factory.mktemp("graphs") / "g.tsv"
+    save_graph(graph, path)
+    loaded = load_graph(path)
+    assert loaded.num_nodes == graph.num_nodes
+    for relation in graph.schema.relationships:
+        assert loaded.num_edges_in(relation) == graph.num_edges_in(relation)
+        for node in range(graph.num_nodes):
+            np.testing.assert_array_equal(
+                np.sort(loaded.neighbors(node, relation)),
+                np.sort(graph.neighbors(node, relation)),
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_multiplex_graph())
+def test_relationship_subgraph_preserves_edges(data):
+    graph, _ = data
+    relation = graph.schema.relationships[0]
+    sub = graph.relationship_subgraph([relation])
+    assert sub.num_edges_in(relation) == graph.num_edges_in(relation)
+    for node in range(graph.num_nodes):
+        np.testing.assert_array_equal(
+            np.sort(sub.neighbors(node, relation)),
+            np.sort(graph.neighbors(node, relation)),
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_multiplex_graph())
+def test_merged_view_edge_count(data):
+    graph, _ = data
+    src, dst = graph.merged_homogeneous_view()
+    assert len(src) == graph.num_edges

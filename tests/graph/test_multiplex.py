@@ -1,0 +1,130 @@
+"""MultiplexHeteroGraph storage and adjacency semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, SchemaError
+from repro.graph import GraphBuilder, GraphSchema, MultiplexHeteroGraph
+
+
+class TestConstruction:
+    def test_counts(self, small_graph):
+        assert small_graph.num_nodes == 7
+        assert small_graph.num_edges == 9
+        assert small_graph.num_edges_in("view") == 6
+        assert small_graph.num_edges_in("buy") == 3
+
+    def test_empty_relationship_is_fine(self, small_schema):
+        builder = GraphBuilder(small_schema)
+        builder.add_nodes("user", 2)
+        builder.add_nodes("item", 1)
+        builder.add_edge(0, 2, "view")
+        graph = builder.build()
+        assert graph.num_edges_in("buy") == 0
+        assert len(graph.neighbors(0, "buy")) == 0
+
+    def test_rejects_out_of_range_edges(self, small_schema):
+        with pytest.raises(GraphError):
+            MultiplexHeteroGraph(
+                small_schema, np.asarray([0, 1]),
+                {"view": (np.asarray([0]), np.asarray([5]))},
+            )
+
+    def test_rejects_self_loops(self, small_schema):
+        with pytest.raises(GraphError):
+            MultiplexHeteroGraph(
+                small_schema, np.asarray([0, 1]),
+                {"view": (np.asarray([1]), np.asarray([1]))},
+            )
+
+    def test_rejects_unknown_relationship(self, small_schema):
+        with pytest.raises(SchemaError):
+            MultiplexHeteroGraph(
+                small_schema, np.asarray([0, 1]),
+                {"like": (np.asarray([0]), np.asarray([1]))},
+            )
+
+    def test_rejects_empty_graph(self, small_schema):
+        with pytest.raises(GraphError):
+            MultiplexHeteroGraph(small_schema, np.asarray([], dtype=np.int64), {})
+
+
+class TestAdjacency:
+    def test_neighbors_symmetric(self, small_graph):
+        assert 3 in small_graph.neighbors(0, "view")
+        assert 0 in small_graph.neighbors(3, "view")
+
+    def test_neighbors_relationship_specific(self, small_graph):
+        assert 4 in small_graph.neighbors(0, "view")
+        assert 4 not in small_graph.neighbors(0, "buy")
+
+    def test_degree(self, small_graph):
+        assert small_graph.degree(0, "view") == 2
+        assert small_graph.degree(0, "buy") == 1
+        assert small_graph.degree(0) == 3
+
+    def test_degrees_vector(self, small_graph):
+        degrees = small_graph.degrees("view")
+        assert degrees[0] == 2
+        assert degrees.sum() == 2 * small_graph.num_edges_in("view")
+
+    def test_active_relationships(self, small_graph):
+        assert small_graph.active_relationships(0) == ["view", "buy"]
+        assert small_graph.active_relationships(6) == ["view"]
+
+    def test_has_edge_order_insensitive(self, small_graph):
+        assert small_graph.has_edge(0, 3, "view")
+        assert small_graph.has_edge(3, 0, "view")
+        assert not small_graph.has_edge(0, 6, "view")
+        assert not small_graph.has_edge(0, 0, "view")
+
+    def test_multiplexity(self, small_graph):
+        """The same pair can connect under several relationships."""
+        assert small_graph.has_edge(0, 3, "view")
+        assert small_graph.has_edge(0, 3, "buy")
+
+
+class TestTypes:
+    def test_node_type(self, small_graph):
+        assert small_graph.node_type(0) == "user"
+        assert small_graph.node_type(3) == "item"
+
+    def test_nodes_of_type(self, small_graph):
+        np.testing.assert_array_equal(small_graph.nodes_of_type("user"), [0, 1, 2])
+        np.testing.assert_array_equal(small_graph.nodes_of_type("item"), [3, 4, 5, 6])
+
+    def test_nodes_of_unknown_type(self, small_graph):
+        with pytest.raises(SchemaError):
+            small_graph.nodes_of_type("video")
+
+    def test_type_codes_read_only(self, small_graph):
+        with pytest.raises(ValueError):
+            small_graph.node_type_codes[0] = 1
+
+
+class TestDerivedGraphs:
+    def test_relationship_subgraph(self, small_graph):
+        sub = small_graph.relationship_subgraph(["buy"])
+        assert sub.num_nodes == small_graph.num_nodes
+        assert sub.schema.relationships == ("buy",)
+        assert sub.num_edges == 3
+
+    def test_relationship_subgraph_preserves_node_ids(self, small_graph):
+        sub = small_graph.relationship_subgraph(["view"])
+        assert sub.node_type(3) == small_graph.node_type(3)
+
+    def test_relationship_subgraph_empty_rejected(self, small_graph):
+        with pytest.raises(GraphError):
+            small_graph.relationship_subgraph([])
+
+    def test_merged_homogeneous_view(self, small_graph):
+        src, dst = small_graph.merged_homogeneous_view()
+        assert len(src) == small_graph.num_edges
+
+    def test_merged_relation_graph(self, small_graph):
+        merged = small_graph.merged_relation_graph()
+        assert merged.schema.relationships == ("all",)
+        assert merged.num_edges == small_graph.num_edges
+        assert merged.schema.node_types == small_graph.schema.node_types

@@ -1,0 +1,119 @@
+"""GraphSchema and MetapathScheme semantics (paper Defs. 1-4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MetapathError, SchemaError
+from repro.graph import GraphSchema, MetapathScheme, intra_relationship_schemes
+
+
+class TestGraphSchema:
+    def test_basic_properties(self):
+        schema = GraphSchema(["user", "item"], ["view", "buy"])
+        assert schema.num_node_types == 2
+        assert schema.num_relationships == 2
+        assert schema.is_multiplex
+        assert schema.is_heterogeneous
+
+    def test_single_relation_not_multiplex(self):
+        schema = GraphSchema(["movie", "actor"], ["credit"])
+        assert not schema.is_multiplex
+        assert schema.is_heterogeneous  # |O| + |R| = 3 > 2
+
+    def test_homogeneous_detection(self):
+        schema = GraphSchema(["node"], ["edge"])
+        assert not schema.is_heterogeneous
+
+    @pytest.mark.parametrize(
+        "types,rels,expected",
+        [
+            (["a"], ["r1", "r2"], "G1"),
+            (["a", "b"], ["r1"], "G2"),
+            (["a", "b"], ["r1", "r2"], "G3"),
+            (["a"], ["r1"], "homogeneous"),
+        ],
+    )
+    def test_categorisation(self, types, rels, expected):
+        assert GraphSchema(types, rels).category() == expected
+
+    def test_duplicate_node_types_rejected(self):
+        with pytest.raises(SchemaError):
+            GraphSchema(["user", "user"], ["r"])
+
+    def test_duplicate_relationships_rejected(self):
+        with pytest.raises(SchemaError):
+            GraphSchema(["user"], ["r", "r"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            GraphSchema([], ["r"])
+        with pytest.raises(SchemaError):
+            GraphSchema(["user"], [])
+
+    def test_index_lookups(self):
+        schema = GraphSchema(["user", "item"], ["view"])
+        assert schema.node_type_index("item") == 1
+        assert schema.relationship_index("view") == 0
+        with pytest.raises(SchemaError):
+            schema.node_type_index("video")
+        with pytest.raises(SchemaError):
+            schema.relationship_index("like")
+
+
+class TestMetapathScheme:
+    def test_intra_relationship(self):
+        scheme = MetapathScheme.intra(["user", "item", "user"], "view")
+        assert scheme.is_intra_relationship
+        assert len(scheme) == 2
+        assert scheme.start_type == "user"
+        assert scheme.end_type == "user"
+        assert scheme.is_symmetric
+
+    def test_inter_relationship(self):
+        scheme = MetapathScheme(["user", "item", "user"], ["view", "buy"])
+        assert not scheme.is_intra_relationship
+
+    def test_asymmetric(self):
+        scheme = MetapathScheme.intra(["video", "user", "author"], "like")
+        assert not scheme.is_symmetric
+
+    def test_parse_table2_notation(self):
+        scheme = MetapathScheme.parse("U-I-U", "view", {"U": "user", "I": "item"})
+        assert scheme.node_types == ("user", "item", "user")
+        assert scheme.relations == ("view", "view")
+
+    def test_parse_unknown_abbreviation(self):
+        with pytest.raises(MetapathError):
+            MetapathScheme.parse("U-X-U", "view", {"U": "user"})
+
+    def test_too_short_rejected(self):
+        with pytest.raises(MetapathError):
+            MetapathScheme(["user"], [])
+
+    def test_relation_count_mismatch_rejected(self):
+        with pytest.raises(MetapathError):
+            MetapathScheme(["user", "item"], ["view", "buy"])
+
+    def test_validate_against_schema(self):
+        schema = GraphSchema(["user", "item"], ["view"])
+        MetapathScheme.intra(["user", "item", "user"], "view").validate(schema)
+        with pytest.raises(MetapathError):
+            MetapathScheme.intra(["user", "video", "user"], "view").validate(schema)
+        with pytest.raises(MetapathError):
+            MetapathScheme.intra(["user", "item", "user"], "like").validate(schema)
+
+    def test_describe(self):
+        scheme = MetapathScheme.intra(["user", "item"], "buy")
+        assert scheme.describe() == "user -buy-> item"
+
+
+class TestIntraRelationshipSchemes:
+    def test_expands_per_relationship(self):
+        result = intra_relationship_schemes(
+            ["U-I-U", "I-U-I"], ["view", "buy"], {"U": "user", "I": "item"}
+        )
+        assert set(result) == {"view", "buy"}
+        assert len(result["view"]) == 2
+        assert all(s.is_intra_relationship for s in result["view"])
+        assert result["buy"][0].relations == ("buy", "buy")

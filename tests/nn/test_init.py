@@ -1,0 +1,52 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestXavier:
+    def test_uniform_bounds(self):
+        weights = init.xavier_uniform((100, 50), rng=0)
+        limit = np.sqrt(6.0 / 150)
+        assert weights.min() >= -limit and weights.max() <= limit
+        assert weights.shape == (100, 50)
+
+    def test_normal_std(self):
+        weights = init.xavier_normal((200, 100), rng=0)
+        expected_std = np.sqrt(2.0 / 300)
+        assert abs(weights.std() - expected_std) < 0.2 * expected_std
+
+    def test_gain_scales(self):
+        base = init.xavier_uniform((50, 50), gain=1.0, rng=0)
+        scaled = init.xavier_uniform((50, 50), gain=2.0, rng=0)
+        np.testing.assert_allclose(scaled, 2.0 * base)
+
+    def test_1d_shape(self):
+        weights = init.xavier_uniform((10,), rng=0)
+        assert weights.shape == (10,)
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ValueError):
+            init.xavier_uniform(())
+
+
+class TestSimpleInits:
+    def test_normal(self):
+        weights = init.normal((1000,), std=0.5, rng=0)
+        assert abs(weights.std() - 0.5) < 0.05
+
+    def test_uniform(self):
+        weights = init.uniform((1000,), limit=0.3, rng=0)
+        assert weights.min() >= -0.3 and weights.max() <= 0.3
+
+    def test_zeros(self):
+        np.testing.assert_array_equal(init.zeros((3, 4)), np.zeros((3, 4)))
+
+    def test_deterministic_with_seed(self):
+        a = init.normal((20,), rng=7)
+        b = init.normal((20,), rng=7)
+        np.testing.assert_array_equal(a, b)

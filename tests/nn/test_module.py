@@ -1,0 +1,111 @@
+"""Module/Parameter container behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, ModuleDict, ModuleList, Parameter, Tensor
+
+
+class Block(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 2)))
+        self.child = Linear(2, 2, rng=0)
+        self.layer_list = ModuleList([Linear(2, 2, rng=1), Linear(2, 2, rng=2)])
+        self.layer_dict = ModuleDict({"a": Linear(2, 2, rng=3)})
+        self.raw_list = [Parameter(np.zeros(3))]
+        self.raw_dict = {"p": Parameter(np.zeros(4))}
+
+    def forward(self, x):
+        return self.child(x)
+
+
+class TestParameterDiscovery:
+    def test_finds_all_parameters(self):
+        block = Block()
+        names = {name for name, _ in block.named_parameters()}
+        assert "weight" in names
+        assert "child.weight" in names and "child.bias" in names
+        assert "layer_list.items.0.weight" in names
+        assert "layer_dict.items.a.weight" in names
+        assert "raw_list.0" in names
+        assert "raw_dict.p" in names
+
+    def test_num_parameters(self):
+        block = Block()
+        expected = sum(p.size for p in block.parameters())
+        assert block.num_parameters() == expected
+
+    def test_zero_grad_clears_all(self):
+        block = Block()
+        x = Tensor(np.ones((1, 2)))
+        block(x).sum().backward()
+        assert any(p.grad is not None for p in block.parameters())
+        block.zero_grad()
+        assert all(p.grad is None for p in block.parameters())
+
+
+class TestTrainEval:
+    def test_train_flag_propagates(self):
+        block = Block()
+        block.eval()
+        assert not block.training
+        assert not block.child.training
+        assert not block.layer_list[0].training
+        assert not block.layer_dict["a"].training
+        block.train()
+        assert block.child.training
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        block = Block()
+        state = block.state_dict()
+        for param in block.parameters():
+            param.data += 1.0
+        block.load_state_dict(state)
+        for name, param in block.named_parameters():
+            np.testing.assert_array_equal(param.data, state[name])
+
+    def test_state_dict_is_a_copy(self):
+        block = Block()
+        state = block.state_dict()
+        block.weight.data += 5.0
+        assert not np.allclose(state["weight"], block.weight.data)
+
+    def test_missing_key_rejected(self):
+        block = Block()
+        state = block.state_dict()
+        state.pop("weight")
+        with pytest.raises(KeyError):
+            block.load_state_dict(state)
+
+    def test_unexpected_key_rejected(self):
+        block = Block()
+        state = block.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            block.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        block = Block()
+        state = block.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            block.load_state_dict(state)
+
+
+class TestContainers:
+    def test_module_list_append_and_iter(self):
+        ml = ModuleList()
+        ml.append(Linear(2, 2, rng=0))
+        assert len(ml) == 1
+        assert list(ml)[0] is ml[0]
+
+    def test_containers_are_not_callable(self):
+        with pytest.raises(NotImplementedError):
+            ModuleList()()
+        with pytest.raises(NotImplementedError):
+            ModuleDict()()

@@ -1,0 +1,72 @@
+"""Numerical-stability behaviour of the autograd ops under extreme inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.loss import softplus
+from repro.nn import Tensor
+
+
+class TestSoftmaxStability:
+    def test_large_logits(self):
+        x = Tensor(np.asarray([[1000.0, 1000.0, -1000.0]]))
+        out = x.softmax(axis=-1).data
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out.sum(), 1.0)
+        np.testing.assert_allclose(out[0, :2], 0.5, atol=1e-9)
+
+    def test_log_softmax_large_logits(self):
+        x = Tensor(np.asarray([[800.0, 0.0]]))
+        out = x.log_softmax(axis=-1).data
+        assert np.all(np.isfinite(out))
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_softmax_gradient_finite_at_extremes(self):
+        x = Tensor(np.asarray([[500.0, -500.0]]), requires_grad=True)
+        x.softmax(axis=-1).sum().backward()
+        assert np.all(np.isfinite(x.grad))
+
+
+class TestSigmoidTanhStability:
+    def test_sigmoid_extremes(self):
+        x = Tensor(np.asarray([-1e6, 1e6]))
+        out = x.sigmoid().data
+        assert np.all(np.isfinite(out))
+
+    def test_sigmoid_gradient_vanishes_not_explodes(self):
+        x = Tensor(np.asarray([1e4]), requires_grad=True)
+        x.sigmoid().sum().backward()
+        assert np.isfinite(x.grad[0])
+        assert abs(x.grad[0]) < 1e-12
+
+
+class TestSoftplusStability:
+    def test_extreme_negative(self):
+        out = softplus(Tensor(np.asarray([-1e5]))).data
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_extreme_positive_is_linear(self):
+        out = softplus(Tensor(np.asarray([1e5]))).data
+        assert out[0] == pytest.approx(1e5)
+
+    def test_gradient_finite_everywhere(self):
+        x = Tensor(np.asarray([-1e5, -1.0, 0.0, 1.0, 1e5]), requires_grad=True)
+        softplus(x).sum().backward()
+        assert np.all(np.isfinite(x.grad))
+        # d/dx softplus = sigmoid(x): bounded in [0, 1].
+        assert np.all(x.grad >= 0) and np.all(x.grad <= 1)
+
+
+class TestAdamStability:
+    def test_survives_huge_gradients(self):
+        from repro.nn import Adam, Parameter
+
+        param = Parameter(np.zeros(3))
+        opt = Adam([param], lr=0.1)
+        param.grad = np.full(3, 1e12)
+        opt.step()
+        assert np.all(np.isfinite(param.data))
+        # Adam's update magnitude is bounded by ~lr regardless of grad scale.
+        assert np.all(np.abs(param.data) < 1.0)

@@ -1,0 +1,78 @@
+"""Alias-method sampling tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SamplingError
+from repro.sampling import AliasTable
+
+
+class TestConstruction:
+    def test_uniform_weights(self):
+        table = AliasTable(np.ones(5))
+        np.testing.assert_allclose(table.probabilities(), 0.2)
+
+    def test_skewed_weights(self):
+        table = AliasTable(np.asarray([3.0, 1.0]))
+        np.testing.assert_allclose(table.probabilities(), [0.75, 0.25])
+
+    def test_single_element(self):
+        table = AliasTable(np.asarray([7.0]))
+        np.testing.assert_allclose(table.probabilities(), [1.0])
+        assert set(table.sample(50, rng=0).tolist()) == {0}
+
+    def test_zero_weight_element_never_sampled(self):
+        table = AliasTable(np.asarray([1.0, 0.0, 1.0]))
+        draws = table.sample(5000, rng=0)
+        assert 1 not in set(draws.tolist())
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(SamplingError):
+            AliasTable(np.asarray([]))
+        with pytest.raises(SamplingError):
+            AliasTable(np.asarray([-1.0, 2.0]))
+        with pytest.raises(SamplingError):
+            AliasTable(np.zeros(3))
+        with pytest.raises(SamplingError):
+            AliasTable(np.ones((2, 2)))
+
+
+class TestSampling:
+    def test_empirical_distribution_matches(self):
+        weights = np.asarray([1.0, 2.0, 3.0, 4.0])
+        table = AliasTable(weights)
+        draws = table.sample(100_000, rng=0)
+        counts = np.bincount(draws, minlength=4) / len(draws)
+        np.testing.assert_allclose(counts, weights / weights.sum(), atol=0.01)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(SamplingError):
+            AliasTable(np.ones(3)).sample(0)
+
+    def test_deterministic_with_seed(self):
+        table = AliasTable(np.asarray([1.0, 5.0, 2.0]))
+        np.testing.assert_array_equal(table.sample(100, rng=3),
+                                      table.sample(100, rng=3))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20))
+def test_reconstructed_probabilities_match_weights(weights):
+    weights = np.asarray(weights)
+    table = AliasTable(weights)
+    np.testing.assert_allclose(
+        table.probabilities(), weights / weights.sum(), atol=1e-9
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(0.01, 100.0), min_size=2, max_size=10),
+       st.integers(0, 10_000))
+def test_draws_in_range(weights, seed):
+    table = AliasTable(np.asarray(weights))
+    draws = table.sample(200, rng=seed)
+    assert draws.min() >= 0 and draws.max() < len(weights)

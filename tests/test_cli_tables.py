@@ -1,0 +1,48 @@
+"""CLI table/figure regeneration commands (micro profile via monkeypatch)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+import repro.cli as cli
+from repro.cli import main
+from repro.core import HybridGNNConfig, TrainerConfig
+from repro.experiments import ExperimentProfile
+
+
+@pytest.fixture
+def micro_cli(monkeypatch):
+    micro = ExperimentProfile(
+        name="micro", scale=0.15, seeds=1,
+        trainer=TrainerConfig(epochs=1, batch_size=1024, num_walks=1,
+                              walk_length=5, window=2, patience=1,
+                              max_batches_per_epoch=2),
+        hybrid=HybridGNNConfig(base_dim=8, edge_dim=4,
+                               metapath_fanouts=(2, 2, 2, 2, 2, 2),
+                               exploration_fanout=2, exploration_depth=1,
+                               eval_samples=1),
+        shallow_epochs=1, shallow_walks=1, fullbatch_epochs=2, sage_epochs=1,
+        ranking_max_sources=4,
+    )
+    monkeypatch.setattr(cli, "get_profile", lambda name="": micro)
+    return micro
+
+
+def test_cli_table5(capsys, micro_cli):
+    assert main(["table", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "L=1" in out and "L=3" in out
+
+
+def test_cli_table6(capsys, micro_cli):
+    assert main(["table", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "Subgraph" in out and "HybridGNN" in out
+
+
+def test_cli_figure6(capsys, micro_cli):
+    assert main(["figure", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 6" in out

@@ -1,0 +1,83 @@
+"""Utilities: RNG plumbing, validation helpers, table formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.utils import (
+    as_rng,
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+    format_table,
+    spawn_rng,
+)
+
+
+class TestRng:
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        assert as_rng(42).random() == as_rng(42).random()
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_rng(rng) is rng
+
+    def test_spawn_is_deterministic_function_of_parent(self):
+        child_a = spawn_rng(np.random.default_rng(1))
+        child_b = spawn_rng(np.random.default_rng(1))
+        assert child_a.random() == child_b.random()
+
+    def test_spawn_differs_from_parent(self):
+        parent = np.random.default_rng(1)
+        child = spawn_rng(parent)
+        assert child.random() != np.random.default_rng(1).random()
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ReproError):
+            check_positive("x", 0)
+        check_positive("x", 0, strict=False)
+        with pytest.raises(ReproError):
+            check_positive("x", -1, strict=False)
+
+    def test_check_fraction(self):
+        check_fraction("f", 0.0)
+        check_fraction("f", 1.0)
+        with pytest.raises(ReproError):
+            check_fraction("f", 1.5)
+
+    def test_check_probability_vector(self):
+        check_probability_vector("p", np.asarray([0.25, 0.75]))
+        with pytest.raises(ReproError):
+            check_probability_vector("p", np.asarray([0.5, 0.6]))
+        with pytest.raises(ReproError):
+            check_probability_vector("p", np.asarray([-0.1, 1.1]))
+        with pytest.raises(ReproError):
+            check_probability_vector("p", np.eye(2))
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(["name", "v"], [["a", 1.5], ["bbbb", 2.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "1.5000" in text
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[3.14159]], float_fmt="{:.1f}")
+        assert "3.1" in text
+
+    def test_integers_not_float_formatted(self):
+        text = format_table(["v"], [[7]])
+        assert "7" in text and "7.0000" not in text
