@@ -1,0 +1,48 @@
+"""Entry point: run the sampling micro-benchmarks and record the results.
+
+Writes ``BENCH_sampling.json`` at the repository root — a machine-readable
+perf trajectory so future PRs can compare against today's numbers:
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--profile smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_sampling import run_all  # noqa: E402
+
+from repro.experiments.profiles import get_profile  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="",
+                        help="profile name (default: $REPRO_PROFILE / smoke)")
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_sampling.json"),
+        help="output JSON path (default: <repo>/BENCH_sampling.json)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_all(get_profile(args.profile))
+    Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+
+    print(f"profile: {results['profile']}  ({results['graph']})")
+    for name, case in results["cases"].items():
+        print(
+            f"  {name:<18} {case['reference_s'] * 1e3:8.2f}ms -> "
+            f"{case['batched_s'] * 1e3:7.2f}ms   {case['speedup']:6.1f}x"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,8 @@ Subpackages
     The nine compared models, from DeepWalk to GATNE.
 ``repro.eval``
     Metrics and evaluation harnesses (link prediction, top-K, significance).
+``repro.perf``
+    Wall-time instrumentation (scoped timers, stage profiling).
 ``repro.experiments``
     Table/figure reproduction entry points.
 

@@ -20,8 +20,9 @@ from repro.errors import TrainingError
 from repro.eval.link_prediction import evaluate_link_prediction
 from repro.graph.schema import MetapathScheme
 from repro.nn.optim import Adam
+from repro.perf import StageProfiler
 from repro.sampling.context import context_pairs
-from repro.sampling.metapath_walk import relationship_walks
+from repro.sampling.metapath_walk import relationship_walk_matrix
 from repro.sampling.random_walk import UniformRandomWalker
 from repro.sampling.negative import UnigramNegativeSampler
 from repro.utils.rng import SeedLike, as_rng, spawn_rng
@@ -53,18 +54,19 @@ class SkipGramTrainer:
         model,
         schemes_by_relation: Dict[str, List[MetapathScheme]],
         split: EdgeSplit,
-        config: TrainerConfig = TrainerConfig(),
+        config: Optional[TrainerConfig] = None,
         rng: SeedLike = None,
     ):
         self.model = model
         self.schemes_by_relation = schemes_by_relation
         self.split = split
-        self.config = config
+        self.config = TrainerConfig() if config is None else config
+        self.profiler = StageProfiler()
         self._rng = as_rng(rng)
         self._negative_sampler = UnigramNegativeSampler(
             split.train_graph, rng=spawn_rng(self._rng)
         )
-        self._optimizer = Adam(model.parameters(), lr=config.learning_rate)
+        self._optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
 
     # ------------------------------------------------------------------
     def generate_pairs(self) -> Dict[str, np.ndarray]:
@@ -81,24 +83,26 @@ class SkipGramTrainer:
         config = self.config
         pairs: Dict[str, np.ndarray] = {}
         for relation in graph.schema.relationships:
-            walks = relationship_walks(
-                graph,
-                self.schemes_by_relation.get(relation, []),
-                num_walks=config.num_walks,
-                length=config.walk_length,
-                rng=spawn_rng(self._rng),
-            )
-            walks = [walk for walk in walks if len(walk) > 1]
-            if not walks and graph.num_edges_in(relation) > 0:
-                fallback = UniformRandomWalker(
-                    graph, relation=relation, rng=spawn_rng(self._rng)
+            with self.profiler.stage("sampling.walks"):
+                matrix, lengths = relationship_walk_matrix(
+                    graph,
+                    self.schemes_by_relation.get(relation, []),
+                    num_walks=config.num_walks,
+                    length=config.walk_length,
+                    rng=spawn_rng(self._rng),
                 )
-                walks = [
-                    walk
-                    for walk in fallback.walks(config.num_walks, config.walk_length)
-                    if len(walk) > 1
-                ]
-            extracted = context_pairs(walks, config.window)
+                keep = lengths > 1
+                if not keep.any() and graph.num_edges_in(relation) > 0:
+                    fallback = UniformRandomWalker(
+                        graph, relation=relation, rng=spawn_rng(self._rng)
+                    )
+                    matrix, lengths = fallback.walks_matrix(
+                        config.num_walks, config.walk_length
+                    )
+                    keep = lengths > 1
+                matrix, lengths = matrix[keep], lengths[keep]
+            with self.profiler.stage("sampling.pairs"):
+                extracted = context_pairs((matrix, lengths), config.window)
             if len(extracted):
                 pairs[relation] = extracted
         if not pairs:
@@ -111,15 +115,23 @@ class SkipGramTrainer:
     def _train_epoch(self, pairs: Dict[str, np.ndarray]) -> float:
         config = self.config
         model = self.model
-        batches: List[Tuple[str, np.ndarray]] = []
-        for relation, relation_pairs in pairs.items():
-            order = self._rng.permutation(len(relation_pairs))
-            for start in range(0, len(relation_pairs), config.batch_size):
-                batches.append((relation, relation_pairs[order[start: start + config.batch_size]]))
-        self._rng.shuffle(batches)
-        if config.max_batches_per_epoch:
-            batches = batches[: config.max_batches_per_epoch]
+        with self.profiler.stage("train.batching"):
+            batches: List[Tuple[str, np.ndarray]] = []
+            for relation, relation_pairs in pairs.items():
+                order = self._rng.permutation(len(relation_pairs))
+                for start in range(0, len(relation_pairs), config.batch_size):
+                    batches.append((relation, relation_pairs[order[start: start + config.batch_size]]))
+            self._rng.shuffle(batches)
+            if config.max_batches_per_epoch:
+                batches = batches[: config.max_batches_per_epoch]
 
+        with self.profiler.stage("train.sgd"):
+            total_loss = self._run_batches(batches)
+        model.invalidate_cache()
+        return total_loss / max(1, len(batches))
+
+    def _run_batches(self, batches: List[Tuple[str, np.ndarray]]) -> float:
+        model = self.model
         total_loss = 0.0
         for relation, batch in batches:
             centers = batch[:, 0]
@@ -133,13 +145,13 @@ class SkipGramTrainer:
             loss.backward()
             self._optimizer.step()
             total_loss += loss.item()
-        model.invalidate_cache()
-        return total_loss / max(1, len(batches))
+        return total_loss
 
     def _validation_score(self) -> Optional[float]:
         if not self.split.val:
             return None
-        report = evaluate_link_prediction(self.model, self.split.val)
+        with self.profiler.stage("eval.validation"):
+            report = evaluate_link_prediction(self.model, self.split.val)
         return report["roc_auc"]
 
     # ------------------------------------------------------------------

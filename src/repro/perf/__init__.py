@@ -1,0 +1,5 @@
+"""Performance instrumentation: scoped timers and stage profiling."""
+
+from repro.perf.profiler import StageProfiler, Timer
+
+__all__ = ["StageProfiler", "Timer"]

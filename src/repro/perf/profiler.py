@@ -1,0 +1,112 @@
+"""Scoped wall-time profiling for pipeline stages.
+
+The training pipeline interleaves sampling (walk generation, context-pair
+extraction) with SGD; knowing the split is what justifies — and validates —
+optimising one side.  :class:`StageProfiler` accumulates wall time per named
+stage with a context-manager API cheap enough to leave on in production
+runs:
+
+    profiler = StageProfiler()
+    with profiler.stage("sampling.walks"):
+        walks = walker.walks(...)
+    profiler.report()  # {"sampling.walks": {"seconds": ..., "calls": ...}, ...}
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+
+class Timer:
+    """A context manager measuring one wall-clock interval.
+
+    After the ``with`` block, ``elapsed`` holds the duration in seconds.
+    Re-entering restarts the measurement.
+    """
+
+    def __init__(self):
+        self.elapsed: float = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+class _StageScope:
+    """One ``with profiler.stage(name)`` activation."""
+
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: "StageProfiler", name: str):
+        self._profiler = profiler
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_StageScope":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._profiler._record(self._name, time.perf_counter() - self._start)
+
+
+class StageProfiler:
+    """Accumulates wall time per named stage across repeated activations."""
+
+    def __init__(self):
+        self._seconds: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+
+    def stage(self, name: str) -> _StageScope:
+        """A context manager adding its wall time to stage ``name``."""
+        return _StageScope(self, name)
+
+    def _record(self, name: str, seconds: float) -> None:
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._calls[name] = self._calls.get(name, 0) + 1
+
+    # ------------------------------------------------------------------
+    def seconds(self, name: str) -> float:
+        """Total accumulated seconds for stage ``name`` (0.0 if never run)."""
+        return self._seconds.get(name, 0.0)
+
+    def total(self) -> float:
+        """Sum of all stages' accumulated seconds."""
+        return sum(self._seconds.values())
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage ``{"seconds", "calls", "fraction"}``, insertion-ordered.
+
+        ``fraction`` is the stage's share of :meth:`total` (0.0 when no time
+        has been recorded at all).
+        """
+        total = self.total()
+        return {
+            name: {
+                "seconds": self._seconds[name],
+                "calls": self._calls[name],
+                "fraction": self._seconds[name] / total if total > 0 else 0.0,
+            }
+            for name in self._seconds
+        }
+
+    def summary(self) -> str:
+        """One line per stage, largest share first — for logs."""
+        report = sorted(
+            self.report().items(), key=lambda item: -item[1]["seconds"]
+        )
+        return "\n".join(
+            f"{name}: {entry['seconds']:.3f}s "
+            f"({100 * entry['fraction']:.1f}%, {entry['calls']} calls)"
+            for name, entry in report
+        )
+
+    def reset(self) -> None:
+        self._seconds.clear()
+        self._calls.clear()

@@ -6,9 +6,20 @@ from repro.sampling.adjacency import (
     step_uniform,
 )
 from repro.sampling.alias import AliasTable
+from repro.sampling.frontier import (
+    PAD,
+    concat_matrices,
+    matrix_to_walks,
+    run_frontier,
+    walks_to_matrix,
+)
 from repro.sampling.random_walk import UniformRandomWalker
 from repro.sampling.node2vec_walk import Node2VecWalker
-from repro.sampling.metapath_walk import MetapathWalker, relationship_walks
+from repro.sampling.metapath_walk import (
+    MetapathWalker,
+    relationship_walk_matrix,
+    relationship_walks,
+)
 from repro.sampling.exploration import RandomizedExploration
 from repro.sampling.neighbor_sampler import MetapathNeighborSampler
 from repro.sampling.negative import UnigramNegativeSampler
@@ -16,12 +27,18 @@ from repro.sampling.context import batches, context_pairs, relation_context_pair
 
 __all__ = [
     "AliasTable",
+    "PAD",
     "TypedAdjacencyCache",
     "sample_uniform_neighbors",
     "step_uniform",
+    "run_frontier",
+    "matrix_to_walks",
+    "walks_to_matrix",
+    "concat_matrices",
     "UniformRandomWalker",
     "Node2VecWalker",
     "MetapathWalker",
+    "relationship_walk_matrix",
     "relationship_walks",
     "RandomizedExploration",
     "MetapathNeighborSampler",

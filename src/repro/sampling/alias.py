@@ -37,23 +37,28 @@ class AliasTable:
         n = len(weights)
         self.n = n
         probs = weights * (n / total)
-        self.prob = np.zeros(n)
-        self.alias = np.zeros(n, dtype=np.int64)
-
-        small = [i for i in range(n) if probs[i] < 1.0]
-        large = [i for i in range(n) if probs[i] >= 1.0]
+        # Partition into under/over-full buckets with one vectorised
+        # comparison; the sequential pairing below then runs on plain Python
+        # lists, whose scalar pops/appends beat per-element numpy indexing.
+        scaled = probs.tolist()
+        small = np.flatnonzero(probs < 1.0).tolist()
+        large = np.flatnonzero(probs >= 1.0).tolist()
+        prob = [1.0] * n
+        alias = list(range(n))
         while small and large:
             s = small.pop()
             l = large.pop()
-            self.prob[s] = probs[s]
-            self.alias[s] = l
-            probs[l] = probs[l] - (1.0 - probs[s])
-            if probs[l] < 1.0:
+            prob[s] = scaled[s]
+            alias[s] = l
+            remainder = scaled[l] - (1.0 - scaled[s])
+            scaled[l] = remainder
+            if remainder < 1.0:
                 small.append(l)
             else:
                 large.append(l)
-        for i in large + small:
-            self.prob[i] = 1.0
+        # Leftover buckets (numerical stragglers) keep prob 1 / self-alias.
+        self.prob = np.asarray(prob)
+        self.alias = np.asarray(alias, dtype=np.int64)
 
     def sample(self, size: int, rng: SeedLike = None) -> np.ndarray:
         """Draw ``size`` indices in O(size)."""

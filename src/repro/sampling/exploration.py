@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.graph.multiplex import MultiplexHeteroGraph
 from repro.sampling.adjacency import sample_uniform_neighbors
+from repro.sampling.frontier import PAD, run_frontier
 from repro.utils.rng import SeedLike, as_rng
 
 
@@ -82,8 +83,38 @@ class RandomizedExploration:
         return next_nodes, chosen
 
     # ------------------------------------------------------------------
+    def walk_matrix(
+        self, starts: np.ndarray, length: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched exploration walks via the frontier engine.
+
+        Returns ``(matrix, lengths, relations)`` where ``relations[w, t]``
+        is the relationship index used to reach ``matrix[w, t]`` (t >= 1;
+        padded with -1 alongside the walk matrix).
+        """
+        starts = np.asarray(starts, dtype=np.int64).reshape(-1)
+        relations = np.full((starts.size, max(length, 1)), PAD, dtype=np.int64)
+
+        def step(nodes: np.ndarray, position: int,
+                 walker_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+            next_nodes, chosen = self.step(nodes)
+            moved = chosen >= 0
+            relations[walker_ids[moved], position] = chosen[moved]
+            return next_nodes, moved
+
+        matrix, lengths = run_frontier(starts, length, step)
+        return matrix, lengths, relations
+
     def walk(self, start: int, length: int) -> Tuple[List[int], List[str]]:
         """One exploration walk; returns (nodes, relations-used)."""
+        matrix, lengths, relations = self.walk_matrix(np.asarray([start]), length)
+        n = int(lengths[0])
+        path = matrix[0, :n].tolist()
+        relations_used = [self._relations[rel] for rel in relations[0, 1:n].tolist()]
+        return path, relations_used
+
+    def _reference_walk(self, start: int, length: int) -> Tuple[List[int], List[str]]:
+        """Scalar pre-frontier loop, retained for equivalence tests."""
         path = [int(start)]
         relations_used: List[str] = []
         current = np.asarray([start], dtype=np.int64)

@@ -8,11 +8,15 @@ and the transition T(v_{t+1} | v_t) is uniform over the neighbors of v_t
 under r whose type matches the next type on the scheme.  The walker cycles
 through the scheme's node types (a scheme like U-I-U continues U-I-U-I-U…
 for walks longer than the scheme).
+
+All starts of a round walk concurrently through the batched frontier engine
+(:mod:`repro.sampling.frontier`): the typed CSR view for a walk position is
+looked up once and advances every alive walker in one vectorised step.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,6 +24,7 @@ from repro.errors import MetapathError
 from repro.graph.multiplex import MultiplexHeteroGraph
 from repro.graph.schema import MetapathScheme
 from repro.sampling.adjacency import TypedAdjacencyCache, step_uniform
+from repro.sampling.frontier import concat_matrices, matrix_to_walks, run_frontier
 from repro.utils.rng import SeedLike, as_rng
 
 
@@ -63,17 +68,68 @@ class MetapathWalker:
             offset = period - offset
         return full[offset]
 
+    # ------------------------------------------------------------------
+    def _check_starts(self, starts: np.ndarray) -> None:
+        codes = self.graph.node_type_codes[starts]
+        start_code = self.graph.schema.node_type_index(self.scheme.start_type)
+        if np.any(codes != start_code):
+            bad = int(starts[np.flatnonzero(codes != start_code)[0]])
+            raise MetapathError(
+                f"walk must start at a {self.scheme.start_type!r} node, "
+                f"got {self.graph.node_type(bad)!r}"
+            )
+
+    def _step(self, nodes: np.ndarray, position: int,
+              walker_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        indptr, indices = self._adjacency.view(self.relation, self._type_at(position))
+        return step_uniform(indptr, indices, nodes, self._rng)
+
+    def walk_matrix(self, starts: np.ndarray, length: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Metapath-guided walks from ``starts`` as a padded ``(W, L)`` matrix.
+
+        All starts must have the scheme's start type; rows stop (padding
+        with -1) at nodes with no valid typed neighbor.
+        """
+        starts = np.asarray(starts, dtype=np.int64).reshape(-1)
+        self._check_starts(starts)
+        return run_frontier(starts, length, self._step)
+
+    # ------------------------------------------------------------------
     def walk(self, start: int, length: int) -> List[int]:
         """One metapath-guided walk of at most ``length`` nodes.
 
         ``start`` must have the scheme's start type; the walk stops early at
         a node with no valid typed neighbor.
         """
-        if self.graph.node_type(start) != self.scheme.start_type:
-            raise MetapathError(
-                f"walk must start at a {self.scheme.start_type!r} node, "
-                f"got {self.graph.node_type(start)!r}"
-            )
+        matrix, lengths = self.walk_matrix(np.asarray([start]), length)
+        return matrix[0, : lengths[0]].tolist()
+
+    def walks(self, num_walks: int, length: int,
+              starts: Optional[np.ndarray] = None) -> List[List[int]]:
+        """``num_walks`` walks from each start node of the correct type."""
+        matrix, lengths = self.walks_matrix(num_walks, length, starts)
+        return matrix_to_walks(matrix, lengths)
+
+    def walks_matrix(self, num_walks: int, length: int,
+                     starts: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`walks` but returns one padded ``(W, L)`` matrix."""
+        if starts is None:
+            starts = self.graph.nodes_of_type(self.scheme.start_type)
+        parts = [
+            self.walk_matrix(self._rng.permutation(starts), length)
+            for _ in range(num_walks)
+        ]
+        return (
+            np.concatenate([matrix for matrix, _ in parts], axis=0),
+            np.concatenate([lengths for _, lengths in parts]),
+        )
+
+    # ------------------------------------------------------------------
+    # Scalar reference path (pre-frontier implementation) for equivalence
+    # tests and benchmarks.
+    # ------------------------------------------------------------------
+    def _reference_walk(self, start: int, length: int) -> List[int]:
+        self._check_starts(np.asarray([start], dtype=np.int64))
         path = [int(start)]
         current = np.asarray([start], dtype=np.int64)
         for position in range(1, length):
@@ -85,17 +141,38 @@ class MetapathWalker:
             path.append(int(current[0]))
         return path
 
-    def walks(self, num_walks: int, length: int,
-              starts: Optional[np.ndarray] = None) -> List[List[int]]:
-        """``num_walks`` walks from each start node of the correct type."""
+    def _reference_walks(self, num_walks: int, length: int,
+                         starts: Optional[np.ndarray] = None) -> List[List[int]]:
         if starts is None:
             starts = self.graph.nodes_of_type(self.scheme.start_type)
         result: List[List[int]] = []
         for _ in range(num_walks):
             shuffled = self._rng.permutation(starts)
             for start in shuffled:
-                result.append(self.walk(int(start), length))
+                result.append(self._reference_walk(int(start), length))
         return result
+
+
+def relationship_walk_matrix(
+    graph: MultiplexHeteroGraph,
+    schemes: Sequence[MetapathScheme],
+    num_walks: int,
+    length: int,
+    rng: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pooled walks from several schemes as one padded ``(W, L)`` matrix.
+
+    This is the batched form of :func:`relationship_walks` (one
+    relationship's PS_{r} set) and the trainer's fast path.
+    """
+    rng = as_rng(rng)
+    adjacency = None
+    parts = []
+    for scheme in schemes:
+        walker = MetapathWalker(graph, scheme, rng=rng, adjacency=adjacency)
+        adjacency = walker._adjacency  # share the typed-CSR cache across schemes
+        parts.append(walker.walks_matrix(num_walks, length))
+    return concat_matrices(parts)
 
 
 def relationship_walks(
@@ -106,11 +183,5 @@ def relationship_walks(
     rng: SeedLike = None,
 ) -> List[List[int]]:
     """Pool walks from several schemes (one relationship's PS_{r} set)."""
-    rng = as_rng(rng)
-    adjacency = None
-    result: List[List[int]] = []
-    for scheme in schemes:
-        walker = MetapathWalker(graph, scheme, rng=rng, adjacency=adjacency)
-        adjacency = walker._adjacency  # share the typed-CSR cache across schemes
-        result.extend(walker.walks(num_walks, length))
-    return result
+    matrix, lengths = relationship_walk_matrix(graph, schemes, num_walks, length, rng)
+    return matrix_to_walks(matrix, lengths)

@@ -5,17 +5,30 @@ The transition from ``prev -> current`` to the next node x is reweighted by
     1/p  if x == prev           (return)
     1    if x is a neighbor of prev  (BFS-like)
     1/q  otherwise              (DFS-like)
+
+The batched path advances the whole frontier per position: candidate lists
+of all alive walkers are flattened into one ragged array, the
+BFS-membership test runs as one ``searchsorted`` against a global sorted
+edge-key array, and the per-walker weighted draw is a segmented
+cumulative-sum inversion.  Frontiers smaller than ``alias_threshold`` fall
+back to cached per-``(prev, current)`` :class:`~repro.sampling.alias.AliasTable`
+draws, where numpy batch overhead exceeds the O(1) alias lookup.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.graph.multiplex import MultiplexHeteroGraph
+from repro.sampling.adjacency import step_uniform
+from repro.sampling.alias import AliasTable
+from repro.sampling.frontier import matrix_to_walks, run_frontier
 from repro.sampling.random_walk import _merged_csr
 from repro.utils.rng import SeedLike, as_rng
+
+_MAX_ALIAS_CACHE = 100_000
 
 
 class Node2VecWalker:
@@ -28,19 +41,31 @@ class Node2VecWalker:
         previous node.
     q:
         In-out parameter; q > 1 biases towards BFS, q < 1 towards DFS.
+    alias_threshold:
+        Frontier size below which the batched step falls back to cached
+        alias tables instead of the vectorised segmented draw.
     """
 
     def __init__(self, graph: MultiplexHeteroGraph, p: float = 1.0, q: float = 1.0,
-                 rng: SeedLike = None):
+                 rng: SeedLike = None, alias_threshold: int = 8):
         if p <= 0 or q <= 0:
             raise ValueError(f"p and q must be positive, got p={p}, q={q}")
         self.graph = graph
         self.p = p
         self.q = q
+        self.alias_threshold = alias_threshold
         self._rng = as_rng(rng)
         self._indptr, self._indices = _merged_csr(graph)
-        # Per-node sorted neighbor arrays for O(log d) membership tests.
-        self._sorted_neighbors = {}
+        self._num_nodes = graph.num_nodes
+        # Sorted directed edge keys src * |V| + dst: membership of any batch
+        # of (prev, candidate) pairs is one searchsorted.
+        degrees = np.diff(self._indptr)
+        src = np.repeat(np.arange(self._num_nodes, dtype=np.int64), degrees)
+        self._edge_keys = np.sort(src * self._num_nodes + self._indices)
+        # Per-node sorted neighbor arrays for the scalar reference path.
+        self._sorted_neighbors: Dict[int, np.ndarray] = {}
+        # (prev, current) -> (candidates, AliasTable) for small frontiers.
+        self._alias_cache: Dict[Tuple[int, int], Tuple[np.ndarray, AliasTable]] = {}
 
     def _neighbors(self, node: int) -> np.ndarray:
         return self._indices[self._indptr[node]: self._indptr[node + 1]]
@@ -52,8 +77,122 @@ class Node2VecWalker:
             self._sorted_neighbors[node] = cached
         return cached
 
+    # ------------------------------------------------------------------
+    # Second-order transition weights
+    # ------------------------------------------------------------------
+    def _edge_weights(self, prev: int, candidates: np.ndarray) -> np.ndarray:
+        """Unnormalised transition weights of ``candidates`` given ``prev``."""
+        weights = np.ones(len(candidates))
+        weights[candidates == prev] = 1.0 / self.p
+        prev_neighbors = self._neighbor_set(prev)
+        pos = np.searchsorted(prev_neighbors, candidates)
+        found = np.zeros(len(candidates), dtype=bool)
+        in_range = pos < len(prev_neighbors)
+        found[in_range] = prev_neighbors[pos[in_range]] == candidates[in_range]
+        far = ~found & (candidates != prev)
+        weights[far] = 1.0 / self.q
+        return weights
+
+    def _alias_step(self, prev: int, current: int) -> int:
+        """One draw from the cached alias table of edge ``(prev, current)``."""
+        entry = self._alias_cache.get((prev, current))
+        if entry is None:
+            candidates = self._neighbors(current)
+            table = AliasTable(self._edge_weights(prev, candidates))
+            entry = (candidates, table)
+            if len(self._alias_cache) < _MAX_ALIAS_CACHE:
+                self._alias_cache[(prev, current)] = entry
+        candidates, table = entry
+        return int(candidates[table.sample(1, self._rng)[0]])
+
+    def _biased_step(self, prev: np.ndarray,
+                     current: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """One second-order step for the whole frontier.
+
+        Returns ``(next_nodes, moved)``; dead-end walkers keep their node
+        with ``moved`` False.
+        """
+        indptr, indices = self._indptr, self._indices
+        degrees = indptr[current + 1] - indptr[current]
+        moved = degrees > 0
+        next_nodes = current.copy()
+        active = np.flatnonzero(moved)
+        if active.size == 0:
+            return next_nodes, moved
+        if active.size < self.alias_threshold:
+            for i in active:
+                next_nodes[i] = self._alias_step(int(prev[i]), int(current[i]))
+            return next_nodes, moved
+
+        a_prev = prev[active]
+        a_deg = degrees[active]
+        total = int(a_deg.sum())
+        ends = np.cumsum(a_deg)
+        seg_starts = ends - a_deg
+        # Flattened ragged candidate lists of all active walkers.
+        flat_idx = np.repeat(indptr[current[active]] - seg_starts, a_deg) + np.arange(total)
+        candidates = indices[flat_idx]
+        prev_rep = np.repeat(a_prev, a_deg)
+
+        weights = np.ones(total)
+        weights[candidates == prev_rep] = 1.0 / self.p
+        keys = prev_rep * self._num_nodes + candidates
+        pos = np.searchsorted(self._edge_keys, keys)
+        pos = np.minimum(pos, len(self._edge_keys) - 1)
+        found = self._edge_keys[pos] == keys
+        far = ~found & (candidates != prev_rep)
+        weights[far] = 1.0 / self.q
+
+        # Segmented weighted choice: invert the per-walker cumulative sums.
+        cumulative = np.cumsum(weights)
+        seg_hi = cumulative[ends - 1]
+        seg_lo = np.concatenate([[0.0], seg_hi[:-1]])
+        targets = seg_lo + self._rng.random(active.size) * (seg_hi - seg_lo)
+        choice = np.searchsorted(cumulative, targets, side="right")
+        choice = np.clip(choice, seg_starts, ends - 1)
+        next_nodes[active] = candidates[choice]
+        return next_nodes, moved
+
+    # ------------------------------------------------------------------
+    def walk_matrix(self, starts: np.ndarray, length: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Biased walks from ``starts`` as a padded ``(W, L)`` matrix."""
+        starts = np.asarray(starts, dtype=np.int64).reshape(-1)
+        prev = np.full(starts.size, -1, dtype=np.int64)
+
+        def step(nodes: np.ndarray, position: int,
+                 walker_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+            if position == 1:
+                next_nodes, moved = step_uniform(
+                    self._indptr, self._indices, nodes, self._rng
+                )
+            else:
+                next_nodes, moved = self._biased_step(prev[walker_ids], nodes)
+            prev[walker_ids[moved]] = nodes[moved]
+            return next_nodes, moved
+
+        return run_frontier(starts, length, step)
+
     def walk(self, start: int, length: int) -> List[int]:
         """One biased walk of at most ``length`` nodes."""
+        matrix, lengths = self.walk_matrix(np.asarray([start]), length)
+        return matrix[0, : lengths[0]].tolist()
+
+    def walks(self, num_walks: int, length: int,
+              nodes: Optional[np.ndarray] = None) -> List[List[int]]:
+        if nodes is None:
+            nodes = np.arange(self.graph.num_nodes)
+        result: List[List[int]] = []
+        for _ in range(num_walks):
+            shuffled = self._rng.permutation(nodes)
+            matrix, lengths = self.walk_matrix(shuffled, length)
+            result.extend(matrix_to_walks(matrix, lengths))
+        return result
+
+    # ------------------------------------------------------------------
+    # Scalar reference path (pre-frontier implementation) for equivalence
+    # tests and benchmarks.
+    # ------------------------------------------------------------------
+    def _reference_walk(self, start: int, length: int) -> List[int]:
         path = [int(start)]
         if length <= 1:
             return path
@@ -66,27 +205,18 @@ class Node2VecWalker:
             candidates = self._neighbors(current)
             if len(candidates) == 0:
                 break
-            prev_neighbors = self._neighbor_set(prev)
-            weights = np.ones(len(candidates))
-            weights[candidates == prev] = 1.0 / self.p
-            # Membership of each candidate in prev's (sorted) neighbor list.
-            pos = np.searchsorted(prev_neighbors, candidates)
-            found = np.zeros(len(candidates), dtype=bool)
-            in_range = pos < len(prev_neighbors)
-            found[in_range] = prev_neighbors[pos[in_range]] == candidates[in_range]
-            far = ~found & (candidates != prev)
-            weights[far] = 1.0 / self.q
+            weights = self._edge_weights(prev, candidates)
             weights /= weights.sum()
             path.append(int(self._rng.choice(candidates, p=weights)))
         return path
 
-    def walks(self, num_walks: int, length: int,
-              nodes: Optional[np.ndarray] = None) -> List[List[int]]:
+    def _reference_walks(self, num_walks: int, length: int,
+                         nodes: Optional[np.ndarray] = None) -> List[List[int]]:
         if nodes is None:
             nodes = np.arange(self.graph.num_nodes)
         result: List[List[int]] = []
         for _ in range(num_walks):
             shuffled = self._rng.permutation(nodes)
             for start in shuffled:
-                result.append(self.walk(int(start), length))
+                result.append(self._reference_walk(int(start), length))
         return result

@@ -1,0 +1,96 @@
+"""Timer / StageProfiler and the trainer's sampling-vs-SGD instrumentation."""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import HybridGNN, SkipGramTrainer
+from repro.perf import StageProfiler, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_reentry_restarts(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        first = timer.elapsed
+        with timer:
+            pass
+        assert timer.elapsed < first
+
+
+class TestStageProfiler:
+    def test_accumulates_across_activations(self):
+        profiler = StageProfiler()
+        for _ in range(3):
+            with profiler.stage("work"):
+                time.sleep(0.002)
+        report = profiler.report()
+        assert report["work"]["calls"] == 3
+        assert report["work"]["seconds"] >= 0.005
+
+    def test_fractions_sum_to_one(self):
+        profiler = StageProfiler()
+        with profiler.stage("a"):
+            time.sleep(0.002)
+        with profiler.stage("b"):
+            time.sleep(0.002)
+        report = profiler.report()
+        assert sum(entry["fraction"] for entry in report.values()) == 1.0
+        assert profiler.total() == sum(entry["seconds"] for entry in report.values())
+
+    def test_unknown_stage_reads_zero(self):
+        assert StageProfiler().seconds("never") == 0.0
+
+    def test_reset_clears(self):
+        profiler = StageProfiler()
+        with profiler.stage("a"):
+            pass
+        profiler.reset()
+        assert profiler.report() == {}
+
+    def test_summary_mentions_stages(self):
+        profiler = StageProfiler()
+        with profiler.stage("sampling"):
+            time.sleep(0.001)
+        assert "sampling" in profiler.summary()
+
+
+class TestTrainerInstrumentation:
+    def test_fit_reports_sampling_vs_sgd_split(
+        self, taobao_dataset, taobao_split, tiny_hybrid_config, tiny_trainer_config
+    ):
+        model = HybridGNN(
+            taobao_split.train_graph, taobao_dataset.all_schemes(),
+            tiny_hybrid_config, rng=0,
+        )
+        trainer = SkipGramTrainer(
+            model, taobao_dataset.all_schemes(), taobao_split,
+            tiny_trainer_config, rng=1,
+        )
+        trainer.fit()
+        report = trainer.profiler.report()
+        assert report["sampling.walks"]["seconds"] > 0
+        assert report["sampling.pairs"]["seconds"] > 0
+        assert report["train.sgd"]["seconds"] > 0
+        assert report["train.sgd"]["calls"] >= 1
+
+    def test_default_config_not_shared_between_trainers(
+        self, taobao_dataset, taobao_split, tiny_hybrid_config
+    ):
+        def build():
+            model = HybridGNN(
+                taobao_split.train_graph, taobao_dataset.all_schemes(),
+                tiny_hybrid_config, rng=0,
+            )
+            return SkipGramTrainer(
+                model, taobao_dataset.all_schemes(), taobao_split, rng=1
+            )
+
+        first, second = build(), build()
+        assert first.config is not second.config

@@ -21,7 +21,7 @@ from repro.eval import evaluate_link_prediction, evaluate_ranking
 
 
 TRAIN_CONFIG = TrainerConfig(
-    epochs=6, batch_size=256, num_walks=2, walk_length=8, window=3, patience=6,
+    epochs=6, batch_size=256, num_walks=3, walk_length=10, window=3, patience=6,
     learning_rate=2e-2,
 )
 MODEL_CONFIG = HybridGNNConfig(
