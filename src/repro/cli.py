@@ -15,6 +15,9 @@ Commands
     Enumerate/suggest metapath schemes for a dataset-alike.
 ``table`` / ``figure``
     Regenerate one of the paper's tables or figures.
+``verify``
+    Run the correctness verification suites (gradcheck registry,
+    differential oracles, golden regression corpus); see TESTING.md.
 """
 
 from __future__ import annotations
@@ -148,6 +151,65 @@ def cmd_schemes(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import verify as verify_mod
+
+    suites = (
+        ["gradcheck", "oracles", "golden"] if args.suite == "all" else [args.suite]
+    )
+    datasets = [d for d in args.datasets.split(",") if d] or None
+    models = [m for m in args.models.split(",") if m] or None
+    report: dict = {"seed": args.seed, "suites": {}}
+    ok = True
+
+    if args.refresh_golden:
+        entries = verify_mod.refresh_golden(
+            datasets=datasets, models=models, seed=args.seed, verbose=True
+        )
+        print(f"refreshed {len(entries)} golden entries in {verify_mod.golden_dir()}")
+        suites = [s for s in suites if s != "golden"] if args.suite == "all" else []
+
+    if "gradcheck" in suites:
+        missing = verify_mod.uncovered_targets()
+        reports = verify_mod.run_gradcheck_suite(seed=args.seed)
+        failed = [r for r in reports if not r.passed]
+        for r in failed:
+            print(r.summary())
+        print(
+            f"gradcheck: {len(reports) - len(failed)}/{len(reports)} cases passed, "
+            f"{len(missing)} uncovered targets"
+            + (f" ({', '.join(missing)})" if missing else "")
+        )
+        ok &= not failed and not missing
+        report["suites"]["gradcheck"] = {
+            "uncovered_targets": missing,
+            "cases": [r.to_dict() for r in reports],
+        }
+
+    if "oracles" in suites:
+        results = verify_mod.run_oracle_suite(seed=args.seed)
+        print(verify_mod.format_oracle_table(results))
+        ok &= all(r.passed for r in results)
+        report["suites"]["oracles"] = [r.to_dict() for r in results]
+
+    if "golden" in suites:
+        checks = verify_mod.verify_golden(
+            datasets=datasets, models=models, verbose=True
+        )
+        print(verify_mod.format_golden_table(checks))
+        ok &= all(c.passed for c in checks)
+        report["suites"]["golden"] = [c.to_dict() for c in checks]
+
+    report["passed"] = bool(ok)
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"report written to {args.report}")
+    return 0 if ok else 1
+
+
 _TABLES = {
     "3": lambda profile: tables_mod.render_link_prediction(
         tables_mod.table3(profile=profile), "Table III"),
@@ -223,6 +285,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("number", choices=sorted(_TABLES))
     p.add_argument("--profile", default="")
     p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("verify", help="run the correctness verification suites")
+    p.add_argument("--suite", default="all",
+                   choices=["all", "gradcheck", "oracles", "golden"])
+    p.add_argument("--refresh-golden", action="store_true",
+                   help="re-snapshot the golden corpus instead of checking it")
+    p.add_argument("--datasets", default="",
+                   help="comma-separated dataset subset for the golden suite")
+    p.add_argument("--models", default="",
+                   help="comma-separated model subset for the golden suite")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--report", default="", help="path for a JSON report")
+    p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("number", choices=sorted(_FIGURES))

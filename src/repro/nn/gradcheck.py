@@ -1,43 +1,14 @@
-"""Numeric gradient checking for the autograd engine (used by tests)."""
+"""Numeric gradient checking for the autograd engine (used by tests).
+
+Historical import location.  The engine itself lives in
+:mod:`repro.verify.gradcheck`, which adds per-element relative steps,
+random-subset sampling for large tensors, structured reports and a case
+registry covering every public op/module; this module re-exports the two
+original entry points with their original signatures.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from repro.verify.gradcheck import check_gradients, numeric_gradient
 
-import numpy as np
-
-from repro.nn.tensor import Tensor
-
-
-def numeric_gradient(func: Callable[[], Tensor], tensor: Tensor,
-                     eps: float = 1e-6) -> np.ndarray:
-    """Central-difference gradient of scalar ``func()`` w.r.t. ``tensor``."""
-    grad = np.zeros_like(tensor.data)
-    flat = tensor.data.reshape(-1)
-    grad_flat = grad.reshape(-1)
-    for idx in range(flat.size):
-        original = flat[idx]
-        flat[idx] = original + eps
-        plus = func().item()
-        flat[idx] = original - eps
-        minus = func().item()
-        flat[idx] = original
-        grad_flat[idx] = (plus - minus) / (2.0 * eps)
-    return grad
-
-
-def check_gradients(func: Callable[[], Tensor], tensors: Sequence[Tensor],
-                    eps: float = 1e-6, atol: float = 1e-4, rtol: float = 1e-4) -> None:
-    """Assert autograd gradients of ``func`` match numeric ones.
-
-    ``func`` must rebuild the graph on each call (it is invoked repeatedly
-    with perturbed inputs).
-    """
-    for tensor in tensors:
-        tensor.zero_grad()
-    out = func()
-    out.backward()
-    for tensor in tensors:
-        assert tensor.grad is not None, "no gradient reached a checked tensor"
-        expected = numeric_gradient(func, tensor, eps=eps)
-        np.testing.assert_allclose(tensor.grad, expected, atol=atol, rtol=rtol)
+__all__ = ["numeric_gradient", "check_gradients"]

@@ -1,0 +1,594 @@
+"""Differential oracles: every fast path against an independent slow truth.
+
+Three oracle families, each reporting a max-abs-diff per component:
+
+- **sampling**: the vectorised frontier walkers against their scalar
+  ``_reference_*`` paths (draw-for-draw identical for uniform, metapath and
+  exploration walks), the node2vec transition distribution against a
+  from-scratch p/q reimplementation, alias tables and the negative sampler
+  against their exact target distributions, and Eq. 1's relationship
+  transition probabilities against a loop transcription;
+- **metrics**: every function of :mod:`repro.eval.metrics` against a
+  brute-force O(n^2) / pure-Python reimplementation (pairwise Mann-Whitney
+  ROC-AUC, threshold-sweep PR-AUC and F1, positional loops for the ranking
+  metrics);
+- **model**: losses, attention and normalisation layers against plain numpy
+  transcriptions of the paper's Eqs. 3, 6-10 and 13.
+
+Every oracle is *exact*: both sides compute the same mathematical object,
+so the acceptance tolerance is float-roundoff scale (1e-6), not a loose
+statistical bound.  A drifting refactor therefore fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import spawn_rng
+
+__all__ = [
+    "OracleResult",
+    "DEFAULT_TOLERANCE",
+    "sampling_oracles",
+    "metric_oracles",
+    "model_oracles",
+    "run_oracle_suite",
+    "format_oracle_table",
+]
+
+DEFAULT_TOLERANCE = 1e-6
+
+
+@dataclass
+class OracleResult:
+    """Outcome of one differential oracle."""
+
+    name: str
+    component: str
+    max_abs_diff: float
+    tolerance: float = DEFAULT_TOLERANCE
+    detail: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return self.max_abs_diff < self.tolerance
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "component": self.component,
+            "max_abs_diff": self.max_abs_diff,
+            "tolerance": self.tolerance,
+            "passed": self.passed,
+            "detail": self.detail,
+        }
+
+
+def _result(name: str, component: str, diff: float, detail: str = "",
+            tolerance: float = DEFAULT_TOLERANCE) -> OracleResult:
+    return OracleResult(
+        name=name, component=component, max_abs_diff=float(diff),
+        tolerance=tolerance, detail=detail,
+    )
+
+
+def _array_diff(a: np.ndarray, b: np.ndarray) -> float:
+    a, b = np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        return float("inf")
+    if a.size == 0:
+        return 0.0
+    return float(np.max(np.abs(a - b)))
+
+
+def _walks_diff(fast: Sequence[Sequence[int]], ref: Sequence[Sequence[int]]) -> float:
+    """0 when the walk corpora are identical, inf otherwise."""
+    if len(fast) != len(ref):
+        return float("inf")
+    for f, r in zip(fast, ref):
+        if list(f) != list(r):
+            return float("inf")
+    return 0.0
+
+
+def _default_graph(seed: int):
+    from repro.datasets.zoo import load_dataset
+
+    return load_dataset("taobao", scale=0.1, seed=seed)
+
+
+# ======================================================================
+# Sampling oracles
+# ======================================================================
+def sampling_oracles(dataset=None, seed: int = 0) -> List[OracleResult]:
+    """Vectorised sampling pipeline vs scalar references on a real graph."""
+    from repro.sampling.alias import AliasTable
+    from repro.sampling.context import _reference_context_pairs, context_pairs
+    from repro.sampling.exploration import RandomizedExploration
+    from repro.sampling.metapath_walk import MetapathWalker
+    from repro.sampling.negative import UnigramNegativeSampler
+    from repro.sampling.node2vec_walk import Node2VecWalker
+    from repro.sampling.random_walk import UniformRandomWalker
+
+    if dataset is None:
+        dataset = _default_graph(seed)
+    graph = dataset.graph
+    rng = np.random.default_rng(seed)
+    results: List[OracleResult] = []
+    starts = rng.choice(graph.num_nodes, size=12, replace=False)
+
+    # --- uniform walker: fast frontier path draw-identical to the scalar loop
+    fast = UniformRandomWalker(graph, rng=seed)
+    ref = UniformRandomWalker(graph, rng=seed)
+    diff = _walks_diff(
+        [fast.walk(int(s), 10) for s in starts],
+        [ref._reference_walk(int(s), 10) for s in starts],
+    )
+    results.append(_result(
+        "uniform_walk_equivalence", "sampling", diff,
+        "frontier walk vs scalar _reference_walk, same seed",
+    ))
+
+    # --- metapath walker: typed steps draw-identical to the scalar loop
+    relation = graph.schema.relationships[0]
+    scheme = dataset.schemes_for(relation)[0]
+    typed_starts = graph.nodes_of_type(scheme.start_type)[:12]
+    fast = MetapathWalker(graph, scheme, rng=seed)
+    ref = MetapathWalker(graph, scheme, rng=seed)
+    diff = _walks_diff(
+        [fast.walk(int(s), 9) for s in typed_starts],
+        [ref._reference_walk(int(s), 9) for s in typed_starts],
+    )
+    results.append(_result(
+        "metapath_walk_equivalence", "sampling", diff,
+        f"scheme {scheme.describe()} frontier vs scalar walk",
+    ))
+
+    # --- randomized exploration: two-phase steps draw-identical (Eqs. 1-2)
+    fast = RandomizedExploration(graph, rng=seed)
+    ref = RandomizedExploration(graph, rng=seed)
+    fast_walks = [fast.walk(int(s), 8) for s in starts]
+    ref_walks = [ref._reference_walk(int(s), 8) for s in starts]
+    diff = max(
+        _walks_diff([w for w, _ in fast_walks], [w for w, _ in ref_walks]),
+        _walks_diff([r for _, r in fast_walks], [r for _, r in ref_walks]),
+    )
+    results.append(_result(
+        "exploration_walk_equivalence", "sampling", diff,
+        "inter-relationship walks and relation traces, same seed",
+    ))
+
+    # --- Eq. 1 transition probabilities vs a loop transcription
+    explorer = RandomizedExploration(graph, rng=seed)
+    relations = graph.schema.relationships
+    diff = 0.0
+    for node in starts:
+        expected = np.zeros(len(relations))
+        active = [
+            i for i, rel in enumerate(relations)
+            if graph.degrees(rel)[int(node)] > 0
+        ]
+        for i in active:
+            expected[i] = 1.0 / len(active)
+        diff = max(diff, _array_diff(
+            explorer.transition_probabilities(int(node)), expected
+        ))
+    results.append(_result(
+        "exploration_transition_probs", "sampling", diff,
+        "Eq. 1 p(r|v) vs per-relationship degree loop",
+    ))
+
+    # --- node2vec: exact second-order transition distribution (p/q weights)
+    walker = Node2VecWalker(graph, p=4.0, q=0.25, rng=seed)
+    diff = 0.0
+    checked = 0
+    for prev in starts:
+        prev = int(prev)
+        currents = walker._neighbors(prev)
+        if len(currents) == 0:
+            continue
+        current = int(currents[0])
+        candidates = walker._neighbors(current)
+        if len(candidates) == 0:
+            continue
+        weights = walker._edge_weights(prev, candidates)
+        prev_neighbors = set(walker._neighbors(prev).tolist())
+        expected = np.empty(len(candidates))
+        for i, cand in enumerate(candidates.tolist()):
+            if cand == prev:
+                expected[i] = 1.0 / walker.p
+            elif cand in prev_neighbors:
+                expected[i] = 1.0
+            else:
+                expected[i] = 1.0 / walker.q
+        diff = max(diff, _array_diff(
+            weights / weights.sum(), expected / expected.sum()
+        ))
+        checked += 1
+    results.append(_result(
+        "node2vec_transition_distribution", "sampling", diff,
+        f"normalised p/q weights vs brute-force membership ({checked} edges)",
+    ))
+
+    # --- alias table: implied distribution vs normalised weights
+    weights = rng.random(64)
+    weights[rng.choice(64, size=8, replace=False)] = 0.0
+    diff = _array_diff(AliasTable(weights).probabilities(), weights / weights.sum())
+    results.append(_result(
+        "alias_table_distribution", "sampling", diff,
+        "AliasTable.probabilities vs normalised input weights",
+    ))
+
+    # --- negative sampler: per-type tables target degree^0.75 exactly
+    sampler = UnigramNegativeSampler(graph, rng=spawn_rng(rng))
+    degrees = graph.degrees().astype(np.float64)
+    target_weights = np.power(np.maximum(degrees, 1e-12), sampler.power)
+    diff = _array_diff(
+        sampler._global_table.probabilities(),
+        target_weights / target_weights.sum(),
+    )
+    for node_type, table in sampler._type_tables.items():
+        nodes = sampler._type_nodes[node_type]
+        w = target_weights[nodes]
+        diff = max(diff, _array_diff(table.probabilities(), w / w.sum()))
+    results.append(_result(
+        "negative_sampler_distribution", "sampling", diff,
+        "global + per-type alias tables vs degree^0.75 (Eq. 13 P_Neg)",
+    ))
+
+    # --- context pairs: window gather vs the historical nested loop
+    walker = UniformRandomWalker(graph, rng=spawn_rng(rng))
+    walks = walker.walks(2, 8, nodes=starts)
+    diff = _array_diff(
+        context_pairs(walks, window=3), _reference_context_pairs(walks, window=3)
+    )
+    results.append(_result(
+        "context_pairs_equivalence", "sampling", diff,
+        "vectorised window gather vs nested-loop extraction (bit-identical order)",
+    ))
+
+    return results
+
+
+# ======================================================================
+# Metric oracles (brute-force O(n^2) reimplementations)
+# ======================================================================
+def _brute_roc_auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """P(score_pos > score_neg) + 0.5 P(tie), one pair at a time."""
+    pos = scores[labels == 1]
+    neg = scores[labels == 0]
+    wins = 0.0
+    for p in pos.tolist():
+        for n in neg.tolist():
+            if p > n:
+                wins += 1.0
+            elif p == n:
+                wins += 0.5
+    return wins / (len(pos) * len(neg))
+
+
+def _brute_confusion_sweep(labels: np.ndarray, scores: np.ndarray):
+    """(precision, recall) per distinct threshold, descending, by counting."""
+    n_pos = int(labels.sum())
+    points = []
+    for threshold in sorted(set(scores.tolist()), reverse=True):
+        tp = fp = 0
+        for label, score in zip(labels.tolist(), scores.tolist()):
+            if score >= threshold:
+                if label == 1:
+                    tp += 1
+                else:
+                    fp += 1
+        points.append((tp / (tp + fp), tp / n_pos))
+    return points
+
+
+def _brute_pr_auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    auc, prev_recall = 0.0, 0.0
+    for precision, recall in _brute_confusion_sweep(labels, scores):
+        auc += (recall - prev_recall) * precision
+        prev_recall = recall
+    return auc
+
+
+def _brute_best_f1(labels: np.ndarray, scores: np.ndarray) -> float:
+    best = 0.0
+    for precision, recall in _brute_confusion_sweep(labels, scores):
+        if precision + recall > 0:
+            best = max(best, 2 * precision * recall / (precision + recall))
+    return best
+
+
+def _brute_ndcg(hits: Sequence[bool], num_relevant: int, k: int) -> float:
+    dcg = 0.0
+    for i, hit in enumerate(list(hits)[:k]):
+        if hit:
+            dcg += 1.0 / np.log2(i + 2.0)
+    n_hits = sum(bool(h) for h in list(hits)[:k])
+    ideal_count = min(max(num_relevant, n_hits), k)
+    ideal = sum(1.0 / np.log2(i + 2.0) for i in range(ideal_count))
+    return dcg / ideal
+
+
+def _binary_case(rng: np.random.Generator, n: int):
+    """Labels/scores with heavy score ties to exercise tie handling."""
+    labels = rng.integers(0, 2, size=n)
+    labels[0], labels[1] = 0, 1  # both classes present
+    scores = np.round(rng.random(n), 2)
+    return labels, scores
+
+
+def metric_oracles(seed: int = 0, draws: int = 5) -> List[OracleResult]:
+    """eval.metrics vs brute-force reimplementations on random instances."""
+    from repro.eval import metrics
+
+    rng = np.random.default_rng(seed)
+    results: List[OracleResult] = []
+
+    diffs = {"roc_auc": 0.0, "pr_auc": 0.0, "best_f1": 0.0, "f1_at_threshold": 0.0}
+    for _ in range(draws):
+        labels, scores = _binary_case(rng, 120)
+        diffs["roc_auc"] = max(
+            diffs["roc_auc"],
+            abs(metrics.roc_auc(labels, scores) - _brute_roc_auc(labels, scores)),
+        )
+        diffs["pr_auc"] = max(
+            diffs["pr_auc"],
+            abs(metrics.pr_auc(labels, scores) - _brute_pr_auc(labels, scores)),
+        )
+        diffs["best_f1"] = max(
+            diffs["best_f1"],
+            abs(metrics.best_f1(labels, scores) - _brute_best_f1(labels, scores)),
+        )
+        threshold = 0.5
+        tp = int(((scores >= threshold) & (labels == 1)).sum())
+        fp = int(((scores >= threshold) & (labels == 0)).sum())
+        fn = int(((scores < threshold) & (labels == 1)).sum())
+        expected = (
+            0.0 if tp == 0
+            else 2 * (tp / (tp + fp)) * (tp / (tp + fn))
+            / ((tp / (tp + fp)) + (tp / (tp + fn)))
+        )
+        diffs["f1_at_threshold"] = max(
+            diffs["f1_at_threshold"],
+            abs(metrics.f1_at_threshold(labels, scores, threshold) - expected),
+        )
+    details = {
+        "roc_auc": "rank formulation vs pairwise Mann-Whitney sweep",
+        "pr_auc": "grouped-threshold average precision vs per-threshold counting",
+        "best_f1": "vectorised threshold max vs per-threshold counting",
+        "f1_at_threshold": "hard-classification F1 vs confusion-count arithmetic",
+    }
+    for name, diff in diffs.items():
+        results.append(_result(name, "metrics", diff, details[name]))
+
+    rank_diffs = {
+        "precision_at_k": 0.0, "recall_at_k": 0.0, "ndcg_at_k": 0.0,
+        "reciprocal_rank": 0.0, "average_precision_at_k": 0.0,
+    }
+    for _ in range(draws * 4):
+        hits = (rng.random(12) < 0.4).tolist()
+        k = int(rng.integers(1, 13))
+        num_relevant = max(1, sum(hits) + int(rng.integers(0, 3)))
+        topk = hits[:k]
+        rank_diffs["precision_at_k"] = max(
+            rank_diffs["precision_at_k"],
+            abs(metrics.precision_at_k(hits, k) - sum(topk) / k),
+        )
+        rank_diffs["recall_at_k"] = max(
+            rank_diffs["recall_at_k"],
+            abs(metrics.recall_at_k(hits, num_relevant, k) - sum(topk) / num_relevant),
+        )
+        rank_diffs["ndcg_at_k"] = max(
+            rank_diffs["ndcg_at_k"],
+            abs(metrics.ndcg_at_k(hits, num_relevant, k)
+                - _brute_ndcg(hits, num_relevant, k)),
+        )
+        first = next((i for i, h in enumerate(hits) if h), None)
+        expected_rr = 0.0 if first is None else 1.0 / (first + 1)
+        rank_diffs["reciprocal_rank"] = max(
+            rank_diffs["reciprocal_rank"],
+            abs(metrics.reciprocal_rank(hits) - expected_rr),
+        )
+        running, hit_count = 0.0, 0
+        for i, hit in enumerate(topk):
+            if hit:
+                hit_count += 1
+                running += hit_count / (i + 1)
+        denominator = min(max(num_relevant, hit_count), k)
+        rank_diffs["average_precision_at_k"] = max(
+            rank_diffs["average_precision_at_k"],
+            abs(metrics.average_precision_at_k(hits, num_relevant, k)
+                - running / denominator),
+        )
+    for name, diff in rank_diffs.items():
+        results.append(_result(name, "metrics", diff, "positional-loop reimplementation"))
+    return results
+
+
+# ======================================================================
+# Model oracles (numpy transcriptions of Eqs. 3, 6-10, 13)
+# ======================================================================
+def _np_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def _np_attention(h: np.ndarray, attn) -> np.ndarray:
+    """Eq. 6/9: softmax(H Wq (H Wk)^T / sqrt(d)) H Wv, in plain numpy."""
+    q = h @ attn.query.weight.data
+    k = h @ attn.key.weight.data
+    v = h @ attn.value.weight.data
+    scores = q @ np.swapaxes(k, -2, -1) / np.sqrt(attn.attn_dim)
+    return _np_softmax(scores, axis=-1) @ v
+
+
+def model_oracles(seed: int = 0) -> List[OracleResult]:
+    """Losses, attention and layers vs straightforward numpy transcriptions."""
+    from scipy import special
+
+    from repro.core.hierarchical_attention import (
+        MetapathLevelAttention,
+        RelationshipLevelAttention,
+    )
+    from repro.core.loss import skip_gram_loss, softplus
+    from repro.nn.aggregators import MeanAggregator
+    from repro.nn.attention import SelfAttention
+    from repro.nn.layers import Embedding, LayerNorm, Linear
+    from repro.nn.tensor import Tensor
+
+    rng = np.random.default_rng(seed)
+    results: List[OracleResult] = []
+
+    # --- elementwise nonlinearities vs scipy
+    x = rng.standard_normal((6, 7)) * 4.0
+    results.append(_result(
+        "tensor_sigmoid", "model",
+        _array_diff(Tensor(x).sigmoid().data, special.expit(x)),
+        "Tensor.sigmoid vs scipy.special.expit",
+    ))
+    results.append(_result(
+        "tensor_softmax", "model",
+        _array_diff(Tensor(x).softmax(axis=-1).data, special.softmax(x, axis=-1)),
+        "Tensor.softmax vs scipy.special.softmax",
+    ))
+    results.append(_result(
+        "tensor_log_softmax", "model",
+        _array_diff(
+            Tensor(x).log_softmax(axis=-1).data, special.log_softmax(x, axis=-1)
+        ),
+        "Tensor.log_softmax vs scipy.special.log_softmax",
+    ))
+
+    # --- softplus vs logaddexp (the two stable phrasings agree exactly)
+    big = rng.standard_normal((5, 8)) * 20.0
+    results.append(_result(
+        "softplus_stability", "model",
+        _array_diff(softplus(Tensor(big)).data, np.logaddexp(0.0, big)),
+        "relu + log1p-exp phrasing vs np.logaddexp(0, x)",
+    ))
+
+    # --- Eq. 13 skip-gram loss vs numpy transcription
+    table = Embedding(10, 6, rng=spawn_rng(rng))
+    targets = rng.standard_normal((4, 6))
+    contexts = rng.integers(0, 10, size=4)
+    negatives = rng.integers(0, 10, size=(4, 3))
+    loss = skip_gram_loss(
+        Tensor(targets), table, contexts, negatives
+    ).item()
+    weights = table.weight.data
+    pos_logits = (targets * weights[contexts]).sum(axis=-1)
+    neg_logits = np.einsum("bnd,bd->bn", weights[negatives], targets)
+    expected = (
+        np.logaddexp(0.0, -pos_logits).mean()
+        + np.logaddexp(0.0, neg_logits).sum(axis=-1).mean()
+    )
+    results.append(_result(
+        "skip_gram_loss", "model", abs(loss - expected),
+        "Eq. 13 loss vs numpy logaddexp transcription",
+    ))
+
+    # --- Eq. 6/9 self-attention vs numpy
+    attn = SelfAttention(5, 4, rng=spawn_rng(rng))
+    h = rng.standard_normal((3, 6, 5))
+    results.append(_result(
+        "self_attention", "model",
+        _array_diff(attn(Tensor(h)).data, _np_attention(h, attn)),
+        "scaled dot-product attention vs numpy einsum transcription",
+    ))
+
+    # --- Eq. 6-7 metapath-level attention (residual + mean pool)
+    mp_attn = MetapathLevelAttention(4, rng=spawn_rng(rng))
+    flows = [rng.standard_normal((3, 4)) for _ in range(3)]
+    out = mp_attn([Tensor(f) for f in flows]).data
+    stacked = np.stack(flows, axis=1)
+    expected = (stacked + _np_attention(stacked, mp_attn.attention)).mean(axis=1)
+    results.append(_result(
+        "metapath_level_attention", "model", _array_diff(out, expected),
+        "Eq. 6-7: residual attention + mean over flows",
+    ))
+
+    # --- Eq. 8-9 relationship-level attention (residual, no pooling)
+    rel_attn = RelationshipLevelAttention(4, rng=spawn_rng(rng))
+    relations = [rng.standard_normal((3, 4)) for _ in range(2)]
+    out = rel_attn([Tensor(r) for r in relations]).data
+    stacked = np.stack(relations, axis=1)
+    expected = stacked + _np_attention(stacked, rel_attn.attention)
+    results.append(_result(
+        "relationship_level_attention", "model", _array_diff(out, expected),
+        "Eq. 8-9: residual attention over relationship embeddings",
+    ))
+
+    # --- Eq. 3 mean aggregator vs numpy
+    agg = MeanAggregator(4, 3, rng=spawn_rng(rng))
+    self_feats = rng.standard_normal((5, 4))
+    neigh_feats = rng.standard_normal((5, 3, 4))
+    out = agg(Tensor(self_feats), Tensor(neigh_feats)).data
+    merged = np.concatenate([self_feats, neigh_feats.mean(axis=1)], axis=-1)
+    expected = np.maximum(
+        merged @ agg.combine.weight.data + agg.combine.bias.data, 0.0
+    )
+    results.append(_result(
+        "mean_aggregator", "model", _array_diff(out, expected),
+        "Eq. 3: relu([self; mean(neigh)] W + b) vs numpy",
+    ))
+
+    # --- LayerNorm vs numpy
+    norm = LayerNorm(6)
+    norm.gamma.data = rng.standard_normal(6)
+    norm.beta.data = rng.standard_normal(6)
+    x = rng.standard_normal((4, 6))
+    mean = x.mean(axis=-1, keepdims=True)
+    var = ((x - mean) ** 2).mean(axis=-1, keepdims=True)
+    expected = (x - mean) / np.sqrt(var + norm.eps) * norm.gamma.data + norm.beta.data
+    results.append(_result(
+        "layer_norm", "model", _array_diff(norm(Tensor(x)).data, expected),
+        "layer normalisation vs numpy moments",
+    ))
+
+    # --- Eq. 10's affine output transform (Linear) vs numpy
+    linear = Linear(4, 3, rng=spawn_rng(rng))
+    x = rng.standard_normal((7, 4))
+    expected = x @ linear.weight.data + linear.bias.data
+    results.append(_result(
+        "linear_affine", "model", _array_diff(linear(Tensor(x)).data, expected),
+        "y = x W + b vs numpy matmul",
+    ))
+
+    return results
+
+
+# ======================================================================
+# Suite driver
+# ======================================================================
+def run_oracle_suite(seed: int = 0, dataset=None) -> List[OracleResult]:
+    """All oracle families; sampling runs on ``dataset`` (taobao-alike default)."""
+    results = sampling_oracles(dataset=dataset, seed=seed)
+    results += metric_oracles(seed=seed)
+    results += model_oracles(seed=seed)
+    return results
+
+
+def format_oracle_table(results: Sequence[OracleResult]) -> str:
+    """Human-readable fixed-width report."""
+    width = max(len(r.name) for r in results) if results else 10
+    lines = [
+        f"{'oracle':<{width}}  {'component':<9}  {'max|diff|':>12}  status",
+        "-" * (width + 40),
+    ]
+    for r in results:
+        status = "ok" if r.passed else "FAIL"
+        lines.append(
+            f"{r.name:<{width}}  {r.component:<9}  {r.max_abs_diff:>12.3e}  {status}"
+        )
+    failed = [r for r in results if not r.passed]
+    lines.append("-" * (width + 40))
+    lines.append(
+        f"{len(results) - len(failed)}/{len(results)} oracles passed"
+        + (f"; FAILED: {', '.join(r.name for r in failed)}" if failed else "")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Property-based tests of eval.metrics (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    best_f1,
+    ndcg_at_k,
+    pr_auc,
+    precision_at_k,
+    recall_at_k,
+    roc_auc,
+)
+from repro.verify.oracles import _brute_roc_auc
+
+# Binary instances with both classes present; scores drawn from a coarse
+# grid so ties are frequent (tie handling is where rank metrics go wrong).
+BINARY_CASES = st.lists(
+    st.tuples(st.integers(0, 1), st.integers(0, 20)), min_size=2, max_size=40
+).filter(
+    lambda rows: any(label == 1 for label, _ in rows)
+    and any(label == 0 for label, _ in rows)
+)
+
+HIT_LISTS = st.lists(st.booleans(), min_size=1, max_size=20)
+
+
+def _unpack(rows):
+    labels = np.asarray([label for label, _ in rows])
+    scores = np.asarray([score for _, score in rows], dtype=np.float64) / 20.0
+    return labels, scores
+
+
+@settings(max_examples=60, deadline=None)
+@given(BINARY_CASES)
+def test_roc_auc_equals_pairwise_probability(rows):
+    labels, scores = _unpack(rows)
+    assert roc_auc(labels, scores) == pytest.approx(
+        _brute_roc_auc(labels, scores), abs=1e-12
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(BINARY_CASES)
+def test_binary_metrics_bounded(rows):
+    labels, scores = _unpack(rows)
+    for metric in (roc_auc, pr_auc, best_f1):
+        value = metric(labels, scores)
+        assert 0.0 <= value <= 1.0, metric.__name__
+
+
+@settings(max_examples=60, deadline=None)
+@given(BINARY_CASES, st.randoms(use_true_random=False))
+def test_permutation_invariance_with_ties(rows, random):
+    # Tied scores are grouped per distinct threshold, so shuffling the
+    # input order (which reorders within tie groups) must not move any
+    # threshold-sweep metric.
+    labels, scores = _unpack(rows)
+    order = list(range(len(rows)))
+    random.shuffle(order)
+    order = np.asarray(order)
+    for metric in (roc_auc, pr_auc, best_f1):
+        assert metric(labels, scores) == pytest.approx(
+            metric(labels[order], scores[order]), abs=1e-12
+        ), metric.__name__
+
+
+@settings(max_examples=60, deadline=None)
+@given(HIT_LISTS, st.integers(1, 25), st.integers(1, 25))
+def test_ranking_metrics_bounded(hits, k, extra_relevant):
+    num_relevant = max(1, sum(hits) + extra_relevant - 1)
+    assert 0.0 <= precision_at_k(hits, k) <= 1.0
+    assert 0.0 <= recall_at_k(hits, num_relevant, k) <= 1.0
+    assert 0.0 <= ndcg_at_k(hits, num_relevant, k) <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(HIT_LISTS, st.integers(1, 25))
+def test_perfect_prefix_is_ideal(hits, k):
+    # A ranking whose relevant items all sit at the top is NDCG-optimal.
+    num_relevant = max(1, sum(hits))
+    ideal = sorted(hits, reverse=True)
+    assert ndcg_at_k(ideal, num_relevant, k) >= ndcg_at_k(hits, num_relevant, k)
+
+
+@settings(max_examples=40, deadline=None)
+@given(BINARY_CASES)
+def test_roc_auc_flips_under_score_negation(rows):
+    labels, scores = _unpack(rows)
+    assert roc_auc(labels, scores) + roc_auc(labels, -scores) == pytest.approx(
+        1.0, abs=1e-12
+    )

@@ -19,6 +19,7 @@ from repro.core import (
 from repro.datasets import available_datasets, load_dataset, split_edges
 from repro.eval import evaluate_link_prediction, evaluate_ranking
 
+pytestmark = pytest.mark.integration
 
 TRAIN_CONFIG = TrainerConfig(
     epochs=6, batch_size=256, num_walks=3, walk_length=10, window=3, patience=6,

@@ -1,0 +1,111 @@
+"""Seeded determinism: identical config + seed => bit-identical results.
+
+Guards the frontier engine's RNG discipline (PR 1 vectorised the whole
+sampling pipeline; any hidden nondeterminism — dict ordering, unseeded
+generators, in-place aliasing — would break the golden corpus silently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import HybridGNN, HybridGNNConfig, SkipGramTrainer, TrainerConfig
+from repro.datasets import load_dataset, split_edges
+from repro.eval import evaluate_link_prediction
+
+SEED = 13
+
+TRAINER_CONFIG = TrainerConfig(
+    epochs=2, batch_size=128, num_walks=1, walk_length=6, window=2, patience=2,
+    max_batches_per_epoch=8,
+)
+MODEL_CONFIG = HybridGNNConfig(
+    base_dim=8, edge_dim=4, metapath_fanouts=(3, 2, 2, 2, 2, 2),
+    exploration_fanout=3, exploration_depth=1, eval_samples=2,
+)
+
+
+@pytest.fixture(scope="module")
+def amazon_setup():
+    dataset = load_dataset("amazon", scale=0.1, seed=3)
+    split = split_edges(dataset.graph, rng=SEED + 10_000)
+    return dataset, split
+
+
+def _train_once(dataset, split):
+    schemes = dataset.all_schemes()
+    model = HybridGNN(split.train_graph, schemes, MODEL_CONFIG, rng=SEED)
+    trainer = SkipGramTrainer(
+        model, schemes, split, config=TRAINER_CONFIG, rng=SEED + 1
+    )
+    history = trainer.fit()
+    relation = split.train_graph.schema.relationships[0]
+    nodes = np.arange(min(32, split.train_graph.num_nodes))
+    embeddings = model.node_embeddings(nodes, relation)
+    report = evaluate_link_prediction(model, split.test)
+    return history, embeddings, report
+
+
+def test_two_runs_are_bit_identical(amazon_setup):
+    dataset, split = amazon_setup
+    history_a, emb_a, report_a = _train_once(dataset, split)
+    history_b, emb_b, report_b = _train_once(dataset, split)
+
+    # Training trajectory: losses and validation scores match exactly.
+    assert history_a.losses == history_b.losses
+    assert history_a.val_scores == history_b.val_scores
+    assert history_a.best_epoch == history_b.best_epoch
+
+    # Embeddings: bit-identical, not merely close.
+    assert emb_a.shape == emb_b.shape
+    assert np.array_equal(emb_a, emb_b)
+
+    # Metrics: every per-relation value identical.
+    assert report_a.per_relation == report_b.per_relation
+
+
+def test_different_seed_changes_the_run(amazon_setup):
+    dataset, split = amazon_setup
+    schemes = dataset.all_schemes()
+    relation = split.train_graph.schema.relationships[0]
+    nodes = np.arange(16)
+    embeddings = []
+    for seed in (SEED, SEED + 99):
+        model = HybridGNN(split.train_graph, schemes, MODEL_CONFIG, rng=seed)
+        embeddings.append(model.node_embeddings(nodes, relation))
+    assert not np.array_equal(embeddings[0], embeddings[1])
+
+
+def test_pair_generation_is_seeded(amazon_setup):
+    dataset, split = amazon_setup
+    schemes = dataset.all_schemes()
+
+    def pairs_once():
+        model = HybridGNN(split.train_graph, schemes, MODEL_CONFIG, rng=SEED)
+        trainer = SkipGramTrainer(
+            model, schemes, split, config=TRAINER_CONFIG, rng=SEED + 1
+        )
+        return trainer.generate_pairs()
+
+    first, second = pairs_once(), pairs_once()
+    assert set(first) == set(second)
+    for relation in first:
+        assert np.array_equal(first[relation], second[relation]), relation
+
+
+def test_eval_sample_averaging_is_cached_and_deterministic(amazon_setup):
+    dataset, split = amazon_setup
+    schemes = dataset.all_schemes()
+    model = HybridGNN(
+        split.train_graph, schemes, replace(MODEL_CONFIG, eval_samples=3),
+        rng=SEED,
+    )
+    relation = split.train_graph.schema.relationships[0]
+    nodes = np.arange(8)
+    first = model.node_embeddings(nodes, relation)
+    # Cached: a second query returns the same array without resampling.
+    second = model.node_embeddings(nodes, relation)
+    assert np.array_equal(first, second)

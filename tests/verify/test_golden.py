@@ -1,0 +1,128 @@
+"""Golden regression corpus: committed snapshots stay honest.
+
+Tier-1 checks the corpus is complete and well-formed and re-verifies one
+cheap entry end-to-end; the full sweep over all five dataset-alikes x four
+models runs under ``-m golden`` (marked slow) in the nightly job.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.verify.golden import (
+    GOLDEN_MODELS,
+    GoldenEntry,
+    compute_entry,
+    entry_path,
+    format_golden_table,
+    golden_dir,
+    golden_targets,
+    load_entry,
+    verify_golden,
+)
+
+METRIC_KEYS = {"roc_auc", "pr_auc", "f1"}
+
+
+class TestCorpusShape:
+    def test_target_grid_covers_all_datasets_and_models(self):
+        from repro.datasets import available_datasets
+
+        targets = golden_targets()
+        assert len(targets) == len(available_datasets()) * len(GOLDEN_MODELS)
+        assert {model for _, model in targets} == set(GOLDEN_MODELS)
+        assert "HybridGNN" in GOLDEN_MODELS and len(GOLDEN_MODELS) >= 4
+
+    def test_every_entry_is_committed_and_well_formed(self):
+        missing, malformed = [], []
+        for dataset, model in golden_targets():
+            entry = load_entry(dataset, model)
+            if entry is None:
+                missing.append(f"{dataset}x{model}")
+                continue
+            overall = entry.metrics.get("overall", {})
+            per_relation = entry.metrics.get("per_relation", {})
+            ok = (
+                entry.dataset == dataset
+                and entry.model == model
+                and entry.profile == "smoke"
+                and entry.tolerance > 0
+                and set(overall) == METRIC_KEYS
+                and per_relation
+                and all(set(m) == METRIC_KEYS for m in per_relation.values())
+                and all(
+                    np.isfinite(v) and 0.0 <= v <= 100.0
+                    for m in [overall, *per_relation.values()]
+                    for v in m.values()
+                )
+            )
+            if not ok:
+                malformed.append(f"{dataset}x{model}")
+        assert not missing, f"missing golden entries: {missing} (run --refresh-golden)"
+        assert not malformed, f"malformed golden entries: {malformed}"
+
+    def test_entries_round_trip_through_json(self):
+        dataset, model = golden_targets()[0]
+        path = entry_path(dataset, model)
+        entry = GoldenEntry.from_json(path.read_text())
+        assert entry.to_json() == path.read_text()
+        payload = json.loads(path.read_text())
+        assert sorted(payload) == [
+            "dataset", "metrics", "model", "profile", "scale", "seed", "tolerance"
+        ]
+
+    def test_missing_entry_reported_not_crashed(self, tmp_path):
+        checks = verify_golden(
+            datasets=["amazon"], models=["DeepWalk"], directory=tmp_path
+        )
+        assert len(checks) == 1
+        assert checks[0].status == "missing"
+        assert not checks[0].passed
+        assert "missing" in format_golden_table(checks)
+
+
+class TestReproducibility:
+    def test_cheapest_entry_reproduces_in_tier1(self):
+        # One end-to-end recompute (DeepWalk on amazon, a few seconds) keeps
+        # the whole refresh/verify path exercised on every tier-1 run.
+        checks = verify_golden(datasets=["amazon"], models=["DeepWalk"])
+        assert checks[0].status == "ok", (
+            f"{checks[0].detail}: drift {checks[0].max_abs_diff:.4f}pp "
+            f"(tolerance {checks[0].tolerance}pp)"
+        )
+
+    def test_compute_entry_is_deterministic(self):
+        a = compute_entry("amazon", "DeepWalk")
+        b = compute_entry("amazon", "DeepWalk")
+        assert a.metrics == b.metrics
+
+    @pytest.mark.slow
+    @pytest.mark.golden
+    def test_full_corpus_passes_within_tolerance(self):
+        checks = verify_golden()
+        failed = [
+            f"{c.dataset}x{c.model}: {c.status} ({c.max_abs_diff:.4f}pp)"
+            for c in checks
+            if not c.passed
+        ]
+        assert not failed, "\n".join(failed)
+
+
+class TestRefresh:
+    def test_refresh_writes_loadable_entries(self, tmp_path):
+        from repro.verify.golden import refresh_golden
+
+        entries = refresh_golden(
+            datasets=["amazon"], models=["DeepWalk"], directory=tmp_path
+        )
+        assert len(entries) == 1
+        reloaded = load_entry("amazon", "DeepWalk", directory=tmp_path)
+        assert reloaded == entries[0]
+        checks = verify_golden(
+            datasets=["amazon"], models=["DeepWalk"], directory=tmp_path
+        )
+        assert checks[0].status == "ok"
+        assert checks[0].max_abs_diff == 0.0

@@ -1,0 +1,177 @@
+"""The rewritten gradcheck engine: relative steps, sampling, registry sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+from repro.verify.gradcheck import (
+    check_gradients,
+    check_gradients_report,
+    covered_targets,
+    gradcheck_cases,
+    numeric_gradient,
+    registry_coverage,
+    required_targets,
+    run_gradcheck_suite,
+    uncovered_targets,
+)
+
+
+class TestNumericGradient:
+    def test_matches_analytic_on_quadratic(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        numeric = numeric_gradient(lambda: (x * x).sum(), x)
+        np.testing.assert_allclose(numeric, 2.0 * x.data, rtol=1e-6, atol=1e-8)
+
+    def test_relative_step_survives_large_magnitudes(self, rng):
+        # The historical absolute eps=1e-6 underflows against 1e6-scale
+        # entries (x + eps == x in float64 spacing terms), producing garbage
+        # central differences; the relative step keeps full accuracy.
+        x = Tensor(rng.standard_normal((2, 3)) * 1e6, requires_grad=True)
+        numeric = numeric_gradient(lambda: (x * x).sum(), x)
+        np.testing.assert_allclose(numeric, 2.0 * x.data, rtol=1e-6)
+
+    def test_indices_restrict_evaluation(self, rng):
+        x = Tensor(rng.standard_normal(10), requires_grad=True)
+        calls = 0
+
+        def func():
+            nonlocal calls
+            calls += 1
+            return (x * x).sum()
+
+        indices = np.asarray([1, 4, 7])
+        numeric = numeric_gradient(func, x, indices=indices)
+        assert calls == 2 * len(indices)
+        checked = np.zeros(10, dtype=bool)
+        checked[indices] = True
+        np.testing.assert_allclose(numeric[checked], 2.0 * x.data[checked], rtol=1e-6)
+        assert np.all(numeric[~checked] == 0.0)
+
+
+class TestCheckGradientsReport:
+    def test_passes_and_reports_structure(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4, 2)), requires_grad=True)
+        report = check_gradients_report(
+            lambda: (a @ b).sum(), [a, b], names=["a", "b"], case="matmul"
+        )
+        assert report.passed
+        assert report.case == "matmul"
+        assert [t.name for t in report.tensors] == ["a", "b"]
+        assert report.checked_elements == a.data.size + b.data.size
+        assert report.max_abs_diff < 1e-6
+        assert report.directional_passed
+
+    def test_subset_sampling_bounds_evaluations(self, rng):
+        x = Tensor(rng.standard_normal(100), requires_grad=True)
+        report = check_gradients_report(
+            lambda: (x * x).sum(), [x], max_elements=5, rng=0
+        )
+        assert report.passed
+        assert report.tensors[0].checked == 5
+        assert report.tensors[0].size == 100
+
+    def test_detects_wrong_backward(self, rng):
+        x = Tensor(rng.standard_normal(6), requires_grad=True)
+
+        def buggy_double():
+            def backward(grad):
+                x._accumulate(grad * 3.0)  # wrong: forward is 2x
+
+            return Tensor._make(x.data * 2.0, (x,), backward).sum()
+
+        report = check_gradients_report(buggy_double, [x])
+        assert not report.passed
+        assert not report.tensors[0].passed
+        assert report.tensors[0].max_abs_diff == pytest.approx(1.0, rel=1e-3)
+        assert "FAIL" in report.summary()
+
+    def test_flags_unreached_tensor(self, rng):
+        used = Tensor(rng.standard_normal(4), requires_grad=True)
+        unused = Tensor(rng.standard_normal(4), requires_grad=True)
+        report = check_gradients_report(lambda: (used * used).sum(), [used, unused])
+        assert not report.passed
+        assert report.tensors[1].message == "no gradient reached this tensor"
+
+    def test_assert_wrapper_raises_with_summary(self, rng):
+        x = Tensor(rng.standard_normal(5), requires_grad=True)
+
+        def buggy():
+            def backward(grad):
+                x._accumulate(-grad)
+
+            return Tensor._make(x.data.copy(), (x,), backward).sum()
+
+        with pytest.raises(AssertionError, match="gradcheck"):
+            check_gradients(buggy, [x])
+
+    def test_assert_wrapper_passes_clean_graph(self, rng):
+        x = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        check_gradients(lambda: x.exp().sum(), [x])
+
+
+class TestRegistry:
+    def test_every_public_target_is_covered(self):
+        # Enumerated coverage: adding an op/module to repro.nn (or a core
+        # target) without registering a gradcheck case fails this test.
+        assert uncovered_targets() == []
+
+    def test_required_targets_enumerate_public_surface(self):
+        targets = set(required_targets())
+        for expected in [
+            "Tensor.matmul", "Tensor.softmax", "Tensor.getitem",
+            "Linear", "Embedding", "Dropout", "LayerNorm", "SelfAttention",
+            "MeanAggregator", "MaxPoolAggregator", "LSTMAggregator",
+            "concat", "stack", "embedding_lookup", "sparse_matmul", "where",
+            "core.skip_gram_loss", "core.HybridGNN",
+        ]:
+            assert expected in targets, expected
+        assert set(covered_targets()) >= targets
+
+    def test_coverage_map_names_cases(self):
+        coverage = registry_coverage()
+        assert coverage["Tensor.matmul"] == [
+            "tensor.matmul", "tensor.matmul_batched", "tensor.matmul_vector"
+        ]
+        assert all(cases for cases in coverage.values())
+
+    def test_case_names_unique_and_buildable(self):
+        cases = gradcheck_cases()
+        names = [case.name for case in cases]
+        assert len(names) == len(set(names))
+        func, tensors, tensor_names = cases[0].build(np.random.default_rng(0))
+        assert len(tensors) == len(tensor_names)
+        assert func().size == 1
+
+    def test_unknown_case_name_rejected(self):
+        with pytest.raises(KeyError, match="no-such-case"):
+            run_gradcheck_suite(names=["no-such-case"])
+
+
+class TestSuite:
+    def test_full_sweep_passes(self):
+        reports = run_gradcheck_suite(seed=0)
+        assert len(reports) == len(gradcheck_cases())
+        failed = [r.summary() for r in reports if not r.passed]
+        assert not failed, "\n".join(failed)
+
+    def test_sweep_is_seeded(self):
+        first = run_gradcheck_suite(names=["tensor.matmul"], seed=3)[0]
+        second = run_gradcheck_suite(names=["tensor.matmul"], seed=3)[0]
+        assert first.max_abs_diff == second.max_abs_diff
+
+    def test_hybridgnn_case_checks_model_parameters(self):
+        report = run_gradcheck_suite(names=["core.hybridgnn_forward"])[0]
+        assert report.passed, report.summary()
+        assert len(report.tensors) >= 4  # spread over the parameter tree
+        assert report.checked_elements > 0
+
+    def test_report_serialises(self):
+        report = run_gradcheck_suite(names=["tensor.add"])[0]
+        payload = report.to_dict()
+        assert payload["case"] == "tensor.add"
+        assert payload["passed"] is True
+        assert payload["tensors"][0]["checked"] > 0
