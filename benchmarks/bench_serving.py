@@ -1,0 +1,198 @@
+"""Micro-benchmarks: the batch serving engine vs the scalar references.
+
+Each case times the retained ``_reference_*`` (pre-engine, one-source-at-a-
+time) recommendation paths against :class:`repro.serving.BatchServingEngine`
+on the same workload and reports the speedup.  Run standalone (writes
+``BENCH_serving.json``):
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--smoke] [--out PATH]
+
+or under pytest:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.core import EmbeddingStore, Recommender
+from repro.datasets import load_dataset
+from repro.eval.ranking import _reference_ranked_candidates
+from repro.experiments.profiles import get_profile
+from repro.perf import Timer
+from repro.serving import BatchServingEngine
+
+
+def _time(fn: Callable[[], object], repeats: int = 5) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        with Timer() as timer:
+            fn()
+        best = min(best, timer.elapsed)
+    return best
+
+
+def _case(name: str, reference: Callable[[], object],
+          batched: Callable[[], object], repeats: int = 5) -> Dict[str, float]:
+    reference_s = _time(reference, repeats)
+    batched_s = _time(batched, repeats)
+    return {
+        "name": name,
+        "reference_s": reference_s,
+        "batched_s": batched_s,
+        "speedup": reference_s / batched_s if batched_s > 0 else float("inf"),
+    }
+
+
+def _random_store(graph, dim: int = 32, seed: int = 0) -> EmbeddingStore:
+    rng = np.random.default_rng(seed)
+    return EmbeddingStore({
+        relation: rng.standard_normal((graph.num_nodes, dim))
+        for relation in graph.schema.relationships
+    })
+
+
+# ----------------------------------------------------------------------
+# Cases
+# ----------------------------------------------------------------------
+def bench_recommend_batch(recommender, sources, relation,
+                          k: int) -> Dict[str, float]:
+    """The acceptance-criterion case: batched top-K vs the scalar loop."""
+    return _case(
+        "recommend_batch",
+        lambda: recommender._reference_recommend_batch(sources, relation, k=k),
+        lambda: recommender.recommend_batch(sources, relation, k=k),
+    )
+
+
+def bench_similar_nodes(recommender, nodes, relation, k: int) -> Dict[str, float]:
+    return _case(
+        "similar_nodes",
+        lambda: [
+            recommender._reference_similar_nodes(int(n), relation, k=k)
+            for n in nodes
+        ],
+        lambda: recommender.engine.similar_batch(nodes, relation, k=k),
+    )
+
+
+def bench_rank_sources(recommender, sources, relation,
+                       target_type: str) -> Dict[str, float]:
+    """The ranking evaluator's per-source workload (full orderings)."""
+    store, graph = recommender.model, recommender.graph
+    return _case(
+        "rank_sources",
+        lambda: [
+            _reference_ranked_candidates(store, graph, int(s), relation, target_type)
+            for s in sources
+        ],
+        lambda: recommender.engine.rank_all(
+            sources, relation, target_type=target_type
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def run_all(profile=None, smoke: bool = False) -> Dict[str, object]:
+    """Run every case; ``smoke`` shrinks the workload for CI."""
+    profile = profile or get_profile("smoke" if smoke else "")
+    # Serving stresses pool size, so the graph is scaled up relative to the
+    # training profiles (the reference path's cost is what's being measured;
+    # tiny training-sized graphs leave nothing for the batch engine to
+    # amortise).
+    scale = profile.scale * (32.0 if smoke else 64.0)
+    num_sources = 384 if smoke else 512
+    k = 10
+    dataset = load_dataset("taobao", scale=scale, seed=7)
+    graph = dataset.graph
+    relation = graph.schema.relationships[0]
+    store = _random_store(graph)
+    recommender = Recommender(store, graph)
+
+    degrees = graph.degrees(relation)
+    sources = np.flatnonzero(degrees > 0)[:num_sources]
+    target_type = graph.node_type(int(graph.neighbors(int(sources[0]), relation)[0]))
+    probe_nodes = graph.nodes_of_type(target_type)[: max(16, num_sources // 4)]
+
+    cases: List[Dict[str, float]] = [
+        bench_recommend_batch(recommender, sources, relation, k),
+        bench_similar_nodes(recommender, probe_nodes, relation, k),
+        bench_rank_sources(
+            recommender, sources[: num_sources // 2], relation, target_type
+        ),
+    ]
+    return {
+        "profile": profile.name,
+        "smoke": smoke,
+        "graph": repr(graph),
+        "settings": {
+            "scale": scale, "num_sources": int(len(sources)), "k": k,
+            "relation": relation,
+        },
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "serving_stats": recommender.engine.latency_report(),
+        "cases": {case["name"]: case for case in cases},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI workload (also selected by default "
+                             "when $REPRO_PROFILE is unset)")
+    parser.add_argument("--profile", default="",
+                        help="profile name (default: $REPRO_PROFILE / smoke)")
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_serving.json"),
+        help="output JSON path (default: <repo>/BENCH_serving.json)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_all(get_profile(args.profile), smoke=args.smoke)
+    Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+
+    print(f"profile: {results['profile']}  ({results['graph']})")
+    for name, case in results["cases"].items():
+        print(
+            f"  {name:<16} {case['reference_s'] * 1e3:8.2f}ms -> "
+            f"{case['batched_s'] * 1e3:7.2f}ms   {case['speedup']:6.1f}x"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_recommend_batch_speedup():
+    """Acceptance criterion: >= 10x on the batched recommendation path."""
+    results = run_all(smoke=True)
+    case = results["cases"]["recommend_batch"]
+    print(f"\nrecommend_batch: {case['speedup']:.1f}x "
+          f"({case['reference_s'] * 1e3:.1f}ms -> {case['batched_s'] * 1e3:.1f}ms)")
+    assert case["speedup"] >= 10.0
+
+
+def test_all_serving_cases_faster():
+    results = run_all(smoke=True)
+    for name, case in results["cases"].items():
+        print(f"\n{name}: {case['speedup']:.1f}x")
+        assert case["speedup"] > 1.0, case
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

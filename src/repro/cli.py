@@ -10,7 +10,9 @@ Commands
 ``evaluate``
     Score a saved embedding export against a dataset split.
 ``recommend``
-    Print top-K recommendations for a node from a saved embedding export.
+    Print top-K recommendations from a saved embedding export — one node
+    via ``--node``, or many at once via ``--nodes`` (served by the batched
+    engine in :mod:`repro.serving`).
 ``schemes``
     Enumerate/suggest metapath schemes for a dataset-alike.
 ``table`` / ``figure``
@@ -92,18 +94,18 @@ def cmd_train(args: argparse.Namespace) -> int:
     ))
 
     if args.save_embeddings:
-        export_embeddings(
+        written = export_embeddings(
             model, split.train_graph.num_nodes,
             split.train_graph.schema.relationships, args.save_embeddings,
         )
-        print(f"embeddings written to {args.save_embeddings}")
+        print(f"embeddings written to {written}")
     if args.save_checkpoint:
         module = getattr(model, "module", None) or getattr(model, "_module", None)
         if module is None:
             print("note: this model kind has no checkpointable module; skipped")
         else:
-            save_checkpoint(module, args.save_checkpoint)
-            print(f"checkpoint written to {args.save_checkpoint}")
+            written = save_checkpoint(module, args.save_checkpoint)
+            print(f"checkpoint written to {written}")
     return 0
 
 
@@ -123,10 +125,30 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def cmd_recommend(args: argparse.Namespace) -> int:
+    if args.node is None and not args.nodes:
+        print("error: pass --node ID or --nodes ID,ID,... for batch mode",
+              file=sys.stderr)
+        return 2
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     split = split_edges(dataset.graph, rng=args.seed + 10_000)
     store = load_embeddings(args.embeddings)
     recommender = Recommender(store, split.train_graph)
+    if args.nodes:
+        sources = [int(token) for token in args.nodes.split(",") if token.strip()]
+        lists = recommender.recommend_batch(sources, args.relation, k=args.k)
+        rows = [
+            [source, rec.node, rec.score]
+            for source, recs in zip(sources, lists)
+            for rec in recs
+        ]
+        print(format_table(
+            ["Source", "Node", "Score"], rows,
+            title=(f"Top-{args.k} {args.relation!r} recommendations "
+                   f"for {len(sources)} nodes (batch)"),
+        ))
+        if args.stats:
+            print(recommender.engine.profiler.summary())
+        return 0
     recs = recommender.recommend(args.node, args.relation, k=args.k)
     rows = [[rec.node, rec.score] for rec in recs]
     print(format_table(
@@ -257,8 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="HybridGNN", choices=MODEL_NAMES)
     p.add_argument("--profile", default="", help="smoke (default) or paper")
     p.add_argument("--k", type=int, default=10)
-    p.add_argument("--save-embeddings", default="", help="path for an .npz export")
-    p.add_argument("--save-checkpoint", default="", help="path for an .npz checkpoint")
+    p.add_argument("--save-embeddings", default="",
+                   help="path for an .npz export (.npz is appended when missing)")
+    p.add_argument("--save-checkpoint", default="",
+                   help="path for an .npz checkpoint (.npz is appended when "
+                        "missing; the path actually written is printed)")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("evaluate", help="evaluate a saved embedding export")
@@ -268,10 +293,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("recommend", help="top-K recommendations from an export")
     _add_common_dataset_args(p)
-    p.add_argument("--embeddings", required=True)
-    p.add_argument("--node", type=int, required=True)
+    p.add_argument("--embeddings", required=True,
+                   help="embedding export path (.npz appended when missing)")
+    p.add_argument("--node", type=int, default=None,
+                   help="single source node id")
+    p.add_argument("--nodes", default="",
+                   help="comma-separated node ids: batch mode through the "
+                        "vectorised serving engine")
     p.add_argument("--relation", required=True)
     p.add_argument("--k", type=int, default=10)
+    p.add_argument("--stats", action="store_true",
+                   help="print serving-engine stage timings after a batch")
     p.set_defaults(func=cmd_recommend)
 
     p = sub.add_parser("schemes", help="suggest metapath schemes")

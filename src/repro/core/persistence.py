@@ -27,21 +27,58 @@ from repro.nn.module import Module
 _META_KEY = "__meta__"
 
 
-def save_checkpoint(model: Module, path: Union[str, Path]) -> None:
-    """Write every parameter of ``model`` to ``path`` (.npz)."""
+def _as_npz_path(path: Union[str, Path]) -> Path:
+    """The path ``np.savez_compressed`` actually writes to.
+
+    numpy silently appends ``.npz`` when the suffix is missing; normalising
+    here keeps what we report (and later try to load) in sync with what
+    lands on disk.
+    """
+    path = Path(path)
+    if not path.name.endswith(".npz"):
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def _existing_npz_path(path: Union[str, Path]) -> Path:
+    """Resolve a load path, accepting the suffix-less form a save was given."""
+    path = Path(path)
+    if path.exists():
+        return path
+    normalised = _as_npz_path(path)
+    return normalised if normalised.exists() else path
+
+
+def _check_reserved_keys(keys, what: str) -> None:
+    if _META_KEY in keys:
+        raise ReproError(
+            f"{what} name {_META_KEY!r} is reserved for archive metadata; "
+            "rename it before saving"
+        )
+
+
+def save_checkpoint(model: Module, path: Union[str, Path]) -> Path:
+    """Write every parameter of ``model`` to ``path`` (.npz).
+
+    Returns the path actually written (``.npz`` appended when missing).
+    """
     state = model.state_dict()
+    _check_reserved_keys(state, "parameter")
     meta = json.dumps({"format": "repro-checkpoint", "version": 1,
                        "parameters": sorted(state)})
-    np.savez_compressed(Path(path), **state, **{_META_KEY: np.asarray(meta)})
+    target = _as_npz_path(path)
+    np.savez_compressed(target, **state, **{_META_KEY: np.asarray(meta)})
+    return target
 
 
 def load_checkpoint_into(model: Module, path: Union[str, Path]) -> None:
     """Restore parameters saved by :func:`save_checkpoint` into ``model``.
 
     The model must have the same architecture (same parameter names and
-    shapes) as the one that was saved.
+    shapes) as the one that was saved.  A missing ``.npz`` suffix is
+    normalised the same way :func:`save_checkpoint` normalises it.
     """
-    with np.load(Path(path), allow_pickle=False) as data:
+    with np.load(_existing_npz_path(path), allow_pickle=False) as data:
         if _META_KEY not in data:
             raise ReproError(f"{path} is not a repro checkpoint")
         meta = json.loads(str(data[_META_KEY]))
@@ -52,15 +89,21 @@ def load_checkpoint_into(model: Module, path: Union[str, Path]) -> None:
 
 
 def export_embeddings(model: RelationEmbedder, num_nodes: int,
-                      relations: Sequence[str], path: Union[str, Path]) -> None:
-    """Materialise and save per-relationship embedding matrices."""
+                      relations: Sequence[str], path: Union[str, Path]) -> Path:
+    """Materialise and save per-relationship embedding matrices.
+
+    Returns the path actually written (``.npz`` appended when missing).
+    """
+    _check_reserved_keys(relations, "relationship")
     nodes = np.arange(num_nodes)
     arrays: Dict[str, np.ndarray] = {
         relation: model.node_embeddings(nodes, relation) for relation in relations
     }
     meta = json.dumps({"format": "repro-embeddings", "version": 1,
                        "num_nodes": num_nodes, "relations": list(relations)})
-    np.savez_compressed(Path(path), **arrays, **{_META_KEY: np.asarray(meta)})
+    target = _as_npz_path(path)
+    np.savez_compressed(target, **arrays, **{_META_KEY: np.asarray(meta)})
+    return target
 
 
 class EmbeddingStore:
@@ -96,8 +139,11 @@ class EmbeddingStore:
 
 
 def load_embeddings(path: Union[str, Path]) -> EmbeddingStore:
-    """Load an export written by :func:`export_embeddings`."""
-    with np.load(Path(path), allow_pickle=False) as data:
+    """Load an export written by :func:`export_embeddings`.
+
+    A missing ``.npz`` suffix is normalised to match what a save wrote.
+    """
+    with np.load(_existing_npz_path(path), allow_pickle=False) as data:
         if _META_KEY not in data:
             raise ReproError(f"{path} is not a repro embedding export")
         meta = json.loads(str(data[_META_KEY]))

@@ -4,6 +4,14 @@ Wraps any model satisfying the :class:`~repro.eval.link_prediction.
 RelationEmbedder` protocol (HybridGNN or any baseline) into the operation a
 recommender system actually serves: "top-K candidates for this node under
 this relationship", with training edges filtered out.
+
+The serving hot path is delegated to
+:class:`repro.serving.BatchServingEngine` (tables fetched once per relation,
+mask-based candidate pools, batched matmul scoring, ``argpartition`` top-K).
+The pre-engine scalar implementations are preserved as ``_reference_*``
+methods: they are the independent slow truth the ``serving`` differential
+oracles (:mod:`repro.verify.oracles`) compare the engine against, and the
+baseline the serving benchmarks measure speedups from.
 """
 
 from __future__ import annotations
@@ -42,6 +50,16 @@ class Recommender:
     def __init__(self, model: RelationEmbedder, graph: MultiplexHeteroGraph):
         self.model = model
         self.graph = graph
+        self._engine = None
+
+    @property
+    def engine(self):
+        """The lazily constructed batch serving engine."""
+        if self._engine is None:
+            from repro.serving import BatchServingEngine
+
+            self._engine = BatchServingEngine(self.model, self.graph)
+        return self._engine
 
     # ------------------------------------------------------------------
     def candidates(self, source: int, relation: str,
@@ -49,18 +67,17 @@ class Recommender:
                    exclude_known: bool = True) -> np.ndarray:
         """The candidate pool for ``source`` under ``relation``.
 
-        Defaults to every node of ``target_type`` (inferred from the source's
-        existing neighbors when omitted) minus the source itself and, when
-        ``exclude_known``, its current neighbors.
+        Defaults to every node of ``target_type`` minus the source itself
+        and, when ``exclude_known``, its current neighbors.  When
+        ``target_type`` is omitted it is inferred from the source's
+        existing neighbors, falling back to the relationship's schema-level
+        endpoint-type map for cold-start nodes; a fully unresolvable
+        source yields an empty pool instead of an exception.
         """
         if target_type is None:
-            neighbors = self.graph.neighbors(source, relation)
-            if len(neighbors) == 0:
-                raise EvaluationError(
-                    f"node {source} has no {relation!r} neighbors; pass "
-                    "target_type explicitly"
-                )
-            target_type = self.graph.node_type(int(neighbors[0]))
+            target_type = self.engine.pools.target_type_for(source, relation)
+            if target_type is None:
+                return np.empty(0, dtype=np.int64)
         pool = self.graph.nodes_of_type(target_type)
         banned = {source}
         if exclude_known:
@@ -77,10 +94,44 @@ class Recommender:
         target_emb = self.model.node_embeddings(targets, relation)
         return target_emb @ source_emb
 
+    # ------------------------------------------------------------------
+    # Serving API (engine-backed)
+    # ------------------------------------------------------------------
     def recommend(self, source: int, relation: str, k: int = 10,
                   target_type: Optional[str] = None,
                   exclude_known: bool = True) -> List[Recommendation]:
         """Top-``k`` recommendations for ``source`` under ``relation``."""
+        return self.engine.recommend(
+            int(source), relation, k=k, target_type=target_type,
+            exclude_known=exclude_known,
+        )
+
+    def recommend_batch(self, sources: Sequence[int], relation: str, k: int = 10,
+                        target_type: Optional[str] = None,
+                        exclude_known: bool = True) -> List[List[Recommendation]]:
+        """Top-``k`` lists for several sources.
+
+        The relation's embedding table really is fetched once per batch
+        (LRU-cached across batches) and the whole batch is scored as one
+        matrix multiply — see :class:`repro.serving.BatchServingEngine`.
+        """
+        return self.engine.recommend_batch(
+            sources, relation, k=k, target_type=target_type,
+            exclude_known=exclude_known,
+        )
+
+    def similar_nodes(self, node: int, relation: str, k: int = 10) -> List[Recommendation]:
+        """Top-``k`` same-typed nodes by embedding cosine similarity."""
+        return self.engine.similar_nodes(int(node), relation, k=k)
+
+    # ------------------------------------------------------------------
+    # Scalar reference paths (pre-engine implementations, kept verbatim as
+    # the differential-oracle truth; see repro.verify.oracles)
+    # ------------------------------------------------------------------
+    def _reference_recommend(self, source: int, relation: str, k: int = 10,
+                             target_type: Optional[str] = None,
+                             exclude_known: bool = True) -> List[Recommendation]:
+        """One source at a time: set-built pool, gathered embeddings, full sort."""
         if k <= 0:
             raise EvaluationError(f"k must be positive, got {k}")
         pool = self.candidates(source, relation, target_type, exclude_known)
@@ -93,19 +144,23 @@ class Recommender:
             for i in order
         ]
 
-    def recommend_batch(self, sources: Sequence[int], relation: str, k: int = 10,
-                        target_type: Optional[str] = None,
-                        exclude_known: bool = True) -> List[List[Recommendation]]:
-        """Top-``k`` lists for several sources (embeddings fetched once)."""
+    def _reference_recommend_batch(self, sources: Sequence[int], relation: str,
+                                   k: int = 10,
+                                   target_type: Optional[str] = None,
+                                   exclude_known: bool = True
+                                   ) -> List[List[Recommendation]]:
+        """The historical loop: embeddings re-fetched for every source."""
         return [
-            self.recommend(int(source), relation, k=k, target_type=target_type,
-                           exclude_known=exclude_known)
+            self._reference_recommend(
+                int(source), relation, k=k, target_type=target_type,
+                exclude_known=exclude_known,
+            )
             for source in sources
         ]
 
-    # ------------------------------------------------------------------
-    def similar_nodes(self, node: int, relation: str, k: int = 10) -> List[Recommendation]:
-        """Top-``k`` same-typed nodes by embedding cosine similarity."""
+    def _reference_similar_nodes(self, node: int, relation: str,
+                                 k: int = 10) -> List[Recommendation]:
+        """Per-node cosine similarity against a freshly gathered pool."""
         if k <= 0:
             raise EvaluationError(f"k must be positive, got {k}")
         pool = self.graph.nodes_of_type(self.graph.node_type(node))

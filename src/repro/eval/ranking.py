@@ -6,6 +6,12 @@ the node's training neighbors; candidates are ranked by embedding dot
 product.  PR@K is precision of the top-K list, HR@K (hit ratio) is the
 recall of the node's positives in the top-K, both averaged over source
 nodes — which is why the paper's absolute values are small.
+
+Ranking is served by :class:`repro.serving.BatchServingEngine` (each
+relation's embedding table fetched once, mask-based candidate pools); the
+historical per-source loop survives as :func:`_reference_ranked_candidates`
+and is held bit-identical to the engine by the ``serving`` differential
+oracles.
 """
 
 from __future__ import annotations
@@ -50,6 +56,31 @@ class RankingReport:
         return self.overall[metric]
 
 
+def _reference_ranked_candidates(
+    model: RelationEmbedder,
+    train_graph: MultiplexHeteroGraph,
+    source: int,
+    relation: str,
+    target_type: str,
+) -> np.ndarray:
+    """The pre-engine per-source ranking: set-built pool, re-fetched
+    embeddings, full stable argsort.  Kept as the differential-oracle truth
+    for the serving engine's ``rank_all``."""
+    candidates = train_graph.nodes_of_type(target_type)
+    known = set(train_graph.neighbors(source, relation).tolist())
+    known.add(source)
+    mask = np.fromiter(
+        (c not in known for c in candidates), dtype=bool, count=len(candidates)
+    )
+    pool = candidates[mask]
+    if len(pool) == 0:
+        return pool
+    src_emb = model.node_embeddings(np.asarray([source]), relation)[0]
+    pool_emb = model.node_embeddings(pool, relation)
+    scores = pool_emb @ src_emb
+    return pool[np.argsort(-scores, kind="stable")]
+
+
 def evaluate_ranking(
     model: RelationEmbedder,
     train_graph: MultiplexHeteroGraph,
@@ -64,6 +95,9 @@ def evaluate_ranking(
     ``max_sources`` caps the number of evaluated source nodes per
     relationship (uniformly subsampled) to bound cost on large graphs.
     """
+    from repro.serving import BatchServingEngine
+
+    engine = BatchServingEngine(model, train_graph)
     per_relation: Dict[str, Dict[str, float]] = {}
     per_node: Dict[str, Dict[int, Dict[str, float]]] = {}
 
@@ -79,8 +113,18 @@ def evaluate_ranking(
         if not sources:
             continue
 
-        # Candidate pools grouped by node type (positives of one source node
-        # share a type in all our datasets; mixed types are handled per node).
+        # Candidate pools are the positives' node type (positives of one
+        # source share a type in all our datasets; mixed types would group).
+        by_type: Dict[str, List[int]] = defaultdict(list)
+        for u in sources:
+            by_type[train_graph.node_type(positives_by_src[u][0])].append(u)
+        ranked_by_source: Dict[int, np.ndarray] = {}
+        for target_type, group in by_type.items():
+            for u, ranked in zip(
+                group, engine.rank_all(group, relation, target_type=target_type)
+            ):
+                ranked_by_source[u] = ranked
+
         precisions: List[float] = []
         recalls: List[float] = []
         ndcgs: List[float] = []
@@ -88,23 +132,10 @@ def evaluate_ranking(
         aps: List[float] = []
         node_metrics: Dict[int, Dict[str, float]] = {}
         for u in sources:
-            targets = positives_by_src[u]
-            target_type = train_graph.node_type(targets[0])
-            candidates = train_graph.nodes_of_type(target_type)
-            known = set(train_graph.neighbors(u, relation).tolist())
-            known.add(u)
-            mask = np.fromiter(
-                (c not in known for c in candidates), dtype=bool, count=len(candidates)
-            )
-            pool = candidates[mask]
-            if len(pool) == 0:
+            ranked = ranked_by_source[u]
+            if len(ranked) == 0:
                 continue
-            src_emb = model.node_embeddings(np.asarray([u]), relation)[0]
-            pool_emb = model.node_embeddings(pool, relation)
-            scores = pool_emb @ src_emb
-            order = np.argsort(-scores, kind="stable")
-            ranked = pool[order]
-            target_set = set(targets)
+            target_set = set(positives_by_src[u])
             hits = [int(c) in target_set for c in ranked]
             top_hits = hits[:k]
             prec = precision_at_k(top_hits, k)

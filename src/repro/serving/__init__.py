@@ -1,0 +1,36 @@
+"""Vectorised batch serving: the Eq. 13 scoring hot path at request scale.
+
+The training side of this repository was vectorised by the batched frontier
+walk engine (``repro.sampling.frontier``); this package does the same for
+the *serving* side.  :class:`BatchServingEngine` answers "top-K candidates
+for these sources under this relationship" by
+
+- precomputing per-node-type candidate pools as reusable boolean masks and
+  per-relation CSR exclusion lists (:class:`CandidatePools`),
+- fetching each relationship's full embedding table **once** per batch
+  through an LRU cache (:class:`RelationEmbeddingCache`) instead of
+  re-gathering per source,
+- scoring a whole batch as a single matrix multiply against the table, and
+- extracting top-K with ``np.argpartition`` plus a stable tie-break instead
+  of a full argsort — bit-identical list order to the scalar reference
+  paths kept on :class:`repro.core.recommender.Recommender`.
+
+Request-level latency/throughput is recorded through
+:class:`repro.perf.StageProfiler` stages (``serving.embeddings``,
+``serving.pool``, ``serving.score``, ``serving.topk``) plus the engine's
+:class:`ServingStats` counters.
+"""
+
+from repro.serving.engine import (
+    BatchServingEngine,
+    RelationEmbeddingCache,
+    ServingStats,
+)
+from repro.serving.pools import CandidatePools
+
+__all__ = [
+    "BatchServingEngine",
+    "CandidatePools",
+    "RelationEmbeddingCache",
+    "ServingStats",
+]

@@ -1,0 +1,428 @@
+"""The batch top-K serving engine.
+
+Serving one request under Eq. 13 is a dot product of the source's
+relationship-specific embedding against every candidate's; serving a batch
+is therefore one matrix multiply against the relation's embedding table.
+The engine organises the whole hot path around that observation:
+
+- the table is fetched **once** per relation through an LRU cache
+  (``serving.embeddings`` stage) instead of twice per source;
+- candidate pools come from :class:`~repro.serving.pools.CandidatePools`
+  ascending-id type pools plus a CSR exclusion scatter (``serving.pool``),
+  not per-source Python sets;
+- a source block is scored as a single ``sources @ table[pool].T`` matmul
+  over the target type's rows only (``serving.score``);
+- top-K is extracted with ``np.argpartition`` plus an explicit stable
+  tie-break (``serving.topk``) rather than a full argsort, reproducing
+  ``np.argsort(-scores, kind="stable")[:k]`` bit-identically — descending
+  score, ascending node id among exact ties, lowest ids win boundary ties.
+
+The scalar pre-engine implementations survive as ``_reference_*`` methods
+on :class:`repro.core.recommender.Recommender` and are compared against the
+engine by the ``serving`` differential oracles in
+:mod:`repro.verify.oracles`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.perf import StageProfiler
+from repro.serving.pools import CandidatePools
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+_EMPTY_SCORES = np.empty(0, dtype=np.float64)
+
+
+@dataclass
+class ServingStats:
+    """Request-level throughput counters (latency lives in the profiler)."""
+
+    requests: int = 0           # engine entry points served
+    sources: int = 0            # source nodes served across all requests
+    candidates_scored: int = 0  # candidate pool rows ranked
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "sources": self.sources,
+            "candidates_scored": self.candidates_scored,
+        }
+
+
+class RelationEmbeddingCache:
+    """LRU cache of full per-relation embedding tables.
+
+    One ``model.node_embeddings(arange(num_nodes), relation)`` call per
+    cached relation — the fix for the ``recommend_batch`` refetch bug.  Row
+    norms (for cosine similarity) are cached alongside each table.
+    """
+
+    def __init__(self, model, num_nodes: int, capacity: int = 4):
+        self.model = model
+        self.num_nodes = num_nodes
+        self.capacity = max(1, int(capacity))
+        self._tables: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._norms: Dict[str, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def table(self, relation: str) -> np.ndarray:
+        """The (num_nodes, d) embedding table of ``relation``."""
+        if relation in self._tables:
+            self._tables.move_to_end(relation)
+            self.hits += 1
+            return self._tables[relation]
+        self.misses += 1
+        table = np.asarray(
+            self.model.node_embeddings(np.arange(self.num_nodes), relation)
+        )
+        self._tables[relation] = table
+        while len(self._tables) > self.capacity:
+            evicted, _ = self._tables.popitem(last=False)
+            self._norms.pop(evicted, None)
+        return table
+
+    def norms(self, relation: str) -> np.ndarray:
+        """Per-row L2 norms of the relation's table (cached)."""
+        if relation not in self._norms:
+            self._norms[relation] = np.linalg.norm(self.table(relation), axis=1)
+        return self._norms[relation]
+
+    @property
+    def cached_relations(self) -> List[str]:
+        return list(self._tables)
+
+
+def _stable_topk(scores: np.ndarray, valid: np.ndarray,
+                 k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Top-``k`` valid indices, ordered exactly like the scalar reference.
+
+    Reproduces ``pool[np.argsort(-scores[pool], kind="stable")[:k]]`` for
+    ``pool = np.flatnonzero(valid)`` without sorting the whole pool:
+    ``argpartition`` isolates the top block, boundary ties are resolved
+    toward the lowest node ids (what a stable sort does), and only the
+    k candidates are ordered.
+    """
+    num_valid = int(np.count_nonzero(valid))
+    if num_valid == 0:
+        return _EMPTY_IDS, _EMPTY_SCORES
+    take = min(k, num_valid)
+    if take == num_valid:
+        chosen = np.flatnonzero(valid)
+    else:
+        masked = np.where(valid, scores, -np.inf)
+        cutoff = len(masked) - take
+        kth_value = masked[np.argpartition(masked, cutoff)[cutoff:]].min()
+        above = np.flatnonzero(masked > kth_value)
+        ties = np.flatnonzero(valid & (scores == kth_value))
+        chosen = np.concatenate([above, ties[: take - len(above)]])
+    # Descending score; ascending node id among exact ties (stable order).
+    order = np.lexsort((chosen, -scores[chosen]))
+    top = chosen[order[:take]]
+    return top, scores[top]
+
+
+def _stable_topk_block(scores: np.ndarray, valid: Optional[np.ndarray],
+                       k: int) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Row-wise :func:`_stable_topk` of a (block, width) score matrix.
+
+    ``valid=None`` means the caller already scattered ``-inf`` over the
+    excluded columns of ``scores`` (the hot path does this in place on the
+    matmul output, skipping a boolean matrix entirely).
+
+    The common case is handled in one vectorised pass: when exactly ``k``
+    entries of a row sit at-or-above its k-th largest value, the top-K
+    *set* is unique, so a row-wise ``partition`` for the cutoff plus one
+    ``>=`` mask selects it; ``np.nonzero`` yields columns in ascending
+    order, which a final stable argsort by descending score turns into
+    exactly the reference order.  Rows where the cutoff value is tied
+    across the boundary (or pools smaller than ``k``) fall back to the
+    scalar helper, which resolves boundary ties toward the lowest ids.
+    """
+    block, width = scores.shape
+    out: List[Tuple[np.ndarray, np.ndarray]] = [None] * block
+    easy = np.empty(0, dtype=np.int64)
+    if k < width:
+        masked = scores if valid is None else np.where(valid, scores, -np.inf)
+        cut = width - k
+        kth = np.partition(masked, cut, axis=1)[:, cut:cut + 1]
+        at_or_above = masked >= kth
+        counts = np.count_nonzero(at_or_above, axis=1)
+        easy = np.flatnonzero((counts == k) & (kth[:, 0] > -np.inf))
+    if len(easy):
+        cols = np.nonzero(at_or_above[easy])[1].reshape(len(easy), k)
+        chosen = np.take_along_axis(masked[easy], cols, axis=1)
+        order = np.argsort(-chosen, axis=1, kind="stable")
+        top = np.take_along_axis(cols, order, axis=1)
+        top_scores = np.take_along_axis(chosen, order, axis=1)
+        for j, row in enumerate(easy.tolist()):
+            out[row] = (top[j], top_scores[j])
+    for row in range(block):
+        if out[row] is None:
+            if valid is None:
+                out[row] = _stable_topk(scores[row], scores[row] > -np.inf, k)
+            else:
+                out[row] = _stable_topk(scores[row], valid[row], k)
+    return out
+
+
+class BatchServingEngine:
+    """Batched top-K recommendation over a model (or an embedding store).
+
+    Parameters
+    ----------
+    model:
+        Anything satisfying the ``RelationEmbedder`` protocol.
+    graph:
+        The training graph defining candidate pools and known edges.
+    cache_capacity:
+        Number of relation embedding tables kept resident (LRU).
+    block_size:
+        Sources scored per matmul block — bounds the (block, num_nodes)
+        score matrix.
+    profiler:
+        Optional shared :class:`StageProfiler`; a private one is created
+        when omitted.
+    """
+
+    def __init__(self, model, graph, *, cache_capacity: int = 4,
+                 block_size: int = 256,
+                 profiler: Optional[StageProfiler] = None):
+        self.model = model
+        self.graph = graph
+        self.pools = CandidatePools(graph)
+        self.cache = RelationEmbeddingCache(
+            model, graph.num_nodes, capacity=cache_capacity
+        )
+        self.block_size = max(1, int(block_size))
+        self.profiler = profiler if profiler is not None else StageProfiler()
+        self.stats = ServingStats()
+
+    # ------------------------------------------------------------------
+    # Core batched top-K
+    # ------------------------------------------------------------------
+    def topk_batch(self, sources: Sequence[int], relation: str, k: int,
+                   target_type: Optional[str] = None,
+                   exclude_known: bool = True
+                   ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Per-source ``(ids, scores)`` top-K arrays, in input order.
+
+        ``target_type`` is resolved per source when omitted (see
+        :meth:`CandidatePools.target_type_for`); unresolvable (fully cold)
+        sources yield empty arrays instead of raising.
+        """
+        if k <= 0:
+            raise EvaluationError(f"k must be positive, got {k}")
+        sources = np.asarray(sources, dtype=np.int64)
+        self.stats.requests += 1
+        self.stats.sources += len(sources)
+        results: List[Tuple[np.ndarray, np.ndarray]] = (
+            [(_EMPTY_IDS, _EMPTY_SCORES)] * len(sources)
+        )
+        for ttype, positions in self._group_by_target(
+            sources, relation, target_type
+        ).items():
+            if ttype is None:
+                continue  # cold and unresolvable: empty result, never a crash
+            group = sources[positions]
+            for start in range(0, len(group), self.block_size):
+                block = slice(start, start + self.block_size)
+                for offset, item in enumerate(self._topk_block(
+                    group[block], relation, k, ttype, exclude_known
+                )):
+                    results[positions[start + offset]] = item
+        return results
+
+    def _group_by_target(self, sources: np.ndarray, relation: str,
+                         target_type: Optional[str]
+                         ) -> Dict[Optional[str], np.ndarray]:
+        if target_type is not None:
+            return {target_type: np.arange(len(sources))}
+        # Warm sources resolve in one gather: the type of their first CSR
+        # neighbor (same answer as CandidatePools.target_type_for).
+        indptr, indices = self.graph.csr(relation)
+        starts, ends = indptr[sources], indptr[sources + 1]
+        warm = starts < ends
+        codes = np.full(len(sources), -1, dtype=np.int64)
+        if warm.any():
+            codes[warm] = self.graph.node_type_codes[indices[starts[warm]]]
+        type_names = self.graph.schema.node_types
+        groups: Dict[Optional[str], List[int]] = {
+            type_names[code]: np.flatnonzero(codes == code).tolist()
+            for code in np.unique(codes[warm]).tolist()
+        }
+        for position in np.flatnonzero(~warm).tolist():
+            ttype = self.pools.target_type_for(int(sources[position]), relation)
+            groups.setdefault(ttype, []).append(position)
+        return {
+            ttype: np.asarray(sorted(positions), dtype=np.int64)
+            for ttype, positions in groups.items()
+        }
+
+    def _topk_block(self, block: np.ndarray, relation: str, k: int,
+                    target_type: str, exclude_known: bool
+                    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        with self.profiler.stage("serving.pool"):
+            pool, rows, cols = self.pools.pool_exclusions(
+                block, relation, target_type, exclude_known
+            )
+        if len(pool) == 0:
+            return [(_EMPTY_IDS, _EMPTY_SCORES)] * len(block)
+        with self.profiler.stage("serving.embeddings"):
+            table = self.cache.table(relation)
+        with self.profiler.stage("serving.score"):
+            if len(block) == 1:
+                # dgemv then gather keeps scalar requests bit-identical to
+                # the reference (per-row dot products are unaffected by
+                # which rows are materialised).
+                scores = (table @ table[block[0]])[pool][None, :]
+            else:
+                # One matmul for the block, over pool rows only.
+                scores = table[block] @ table[pool].T
+            # The matrix is engine-owned: scatter -inf over exclusions in
+            # place instead of materialising a boolean candidate mask.
+            scores[rows, cols] = -np.inf
+        self.stats.candidates_scored += int(np.count_nonzero(scores > -np.inf))
+        with self.profiler.stage("serving.topk"):
+            return [
+                (pool[ids], top_scores)
+                for ids, top_scores in _stable_topk_block(scores, None, k)
+            ]
+
+    # ------------------------------------------------------------------
+    # Recommendation API (mirrors the Recommender facade)
+    # ------------------------------------------------------------------
+    def recommend_batch(self, sources: Sequence[int], relation: str,
+                        k: int = 10, target_type: Optional[str] = None,
+                        exclude_known: bool = True):
+        """Top-``k`` :class:`Recommendation` lists for several sources."""
+        from repro.core.recommender import Recommendation
+
+        # .tolist() already yields Python scalars; positional construction
+        # keeps this loop (k objects per source) off the hot-path profile.
+        return [
+            [
+                Recommendation(node, score)
+                for node, score in zip(ids.tolist(), scores.tolist())
+            ]
+            for ids, scores in self.topk_batch(
+                sources, relation, k, target_type, exclude_known
+            )
+        ]
+
+    def recommend(self, source: int, relation: str, k: int = 10,
+                  target_type: Optional[str] = None,
+                  exclude_known: bool = True):
+        """Top-``k`` recommendations for one source."""
+        return self.recommend_batch(
+            [int(source)], relation, k, target_type, exclude_known
+        )[0]
+
+    # ------------------------------------------------------------------
+    # Similarity
+    # ------------------------------------------------------------------
+    def similar_topk(self, nodes: Sequence[int], relation: str, k: int
+                     ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Per-node ``(ids, cosine_scores)`` over same-typed candidates."""
+        if k <= 0:
+            raise EvaluationError(f"k must be positive, got {k}")
+        nodes = np.asarray(nodes, dtype=np.int64)
+        self.stats.requests += 1
+        self.stats.sources += len(nodes)
+        with self.profiler.stage("serving.embeddings"):
+            table = self.cache.table(relation)
+            norms = self.cache.norms(relation)
+        results: List[Tuple[np.ndarray, np.ndarray]] = []
+        for node in nodes.tolist():
+            node_type = self.graph.node_type(node)
+            with self.profiler.stage("serving.pool"):
+                pool = self.pools.type_pool(node_type)
+                valid = np.ones(len(pool), dtype=bool)
+                valid[self.pools.pool_positions(node_type)[node]] = False
+            with self.profiler.stage("serving.score"):
+                # The probe's norm is taken over its 1-D row (not the cached
+                # axis=1 reduction): np.linalg.norm accumulates the two
+                # differently, and the reference uses the vector form.
+                scores = (table @ table[node])[pool] / np.maximum(
+                    norms[pool] * np.linalg.norm(table[node]), 1e-12
+                )
+            self.stats.candidates_scored += int(valid.sum())
+            with self.profiler.stage("serving.topk"):
+                ids, top_scores = _stable_topk(scores, valid, k)
+                results.append((pool[ids], top_scores))
+        return results
+
+    def similar_batch(self, nodes: Sequence[int], relation: str, k: int = 10):
+        """Top-``k`` :class:`Recommendation` lists of similar nodes."""
+        from repro.core.recommender import Recommendation
+
+        return [
+            [
+                Recommendation(node, score)
+                for node, score in zip(ids.tolist(), scores.tolist())
+            ]
+            for ids, scores in self.similar_topk(nodes, relation, k)
+        ]
+
+    def similar_nodes(self, node: int, relation: str, k: int = 10):
+        """Top-``k`` same-typed nodes by embedding cosine similarity."""
+        return self.similar_batch([int(node)], relation, k)[0]
+
+    # ------------------------------------------------------------------
+    # Full ranking (evaluation workload)
+    # ------------------------------------------------------------------
+    def rank_all(self, sources: Sequence[int], relation: str,
+                 target_type: Optional[str] = None,
+                 exclude_known: bool = True) -> List[np.ndarray]:
+        """Fully ranked candidate pools, one id array per source.
+
+        The ranking evaluator needs every source's complete ordering (MRR
+        looks past the top-K), so this path keeps the full stable argsort
+        but still shares the one-fetch table and mask-based pools.  Scores
+        are computed per source as table-level matrix-vector products,
+        which are bit-identical to the scalar reference's gathered dot
+        products.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        self.stats.requests += 1
+        self.stats.sources += len(sources)
+        results: List[np.ndarray] = [_EMPTY_IDS] * len(sources)
+        for ttype, positions in self._group_by_target(
+            sources, relation, target_type
+        ).items():
+            if ttype is None:
+                continue
+            group = sources[positions]
+            with self.profiler.stage("serving.embeddings"):
+                table = self.cache.table(relation)
+            with self.profiler.stage("serving.pool"):
+                pool, valid = self.pools.valid_pool_matrix(
+                    group, relation, ttype, exclude_known
+                )
+            if len(pool) == 0:
+                continue
+            with self.profiler.stage("serving.score"):
+                scores = np.empty((len(group), len(pool)))
+                for j, source in enumerate(group.tolist()):
+                    # dgemv per source: bit-identical to the scalar
+                    # reference's gathered dot products.
+                    scores[j] = (table @ table[source])[pool]
+            counts = np.count_nonzero(valid, axis=1)
+            self.stats.candidates_scored += int(counts.sum())
+            with self.profiler.stage("serving.topk"):
+                keys = np.where(valid, -scores, np.inf)
+                orders = np.argsort(keys, axis=1, kind="stable")
+                for j, count in enumerate(counts.tolist()):
+                    results[positions[j]] = pool[orders[j, :count]]
+        return results
+
+    # ------------------------------------------------------------------
+    def latency_report(self) -> Dict[str, object]:
+        """Counters plus per-stage wall time for dashboards/logs."""
+        return {**self.stats.to_dict(), "stages": self.profiler.report()}

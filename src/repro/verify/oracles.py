@@ -13,7 +13,11 @@ Three oracle families, each reporting a max-abs-diff per component:
   ROC-AUC, threshold-sweep PR-AUC and F1, positional loops for the ranking
   metrics);
 - **model**: losses, attention and normalisation layers against plain numpy
-  transcriptions of the paper's Eqs. 3, 6-10 and 13.
+  transcriptions of the paper's Eqs. 3, 6-10 and 13;
+- **serving**: the batched top-K engine (mask pools, one-fetch tables,
+  single-matmul scoring, argpartition extraction) against the scalar
+  ``_reference_*`` recommendation paths — top-K lists must match node for
+  node *in order* (exact ties included), scores to float roundoff.
 
 Every oracle is *exact*: both sides compute the same mathematical object,
 so the acceptance tolerance is float-roundoff scale (1e-6), not a loose
@@ -35,6 +39,7 @@ __all__ = [
     "sampling_oracles",
     "metric_oracles",
     "model_oracles",
+    "serving_oracles",
     "run_oracle_suite",
     "format_oracle_table",
 ]
@@ -563,13 +568,140 @@ def model_oracles(seed: int = 0) -> List[OracleResult]:
 
 
 # ======================================================================
+# Serving oracles (batched engine vs scalar reference recommendation paths)
+# ======================================================================
+def _recommendation_lists_diff(fast, ref) -> float:
+    """0 when node lists match in order, inf otherwise (scores separately)."""
+    if len(fast) != len(ref):
+        return float("inf")
+    for f, r in zip(fast, ref):
+        if [rec.node for rec in f] != [rec.node for rec in r]:
+            return float("inf")
+    return 0.0
+
+
+def _recommendation_scores_diff(fast, ref) -> float:
+    diff = 0.0
+    for f, r in zip(fast, ref):
+        if len(f) != len(r):
+            return float("inf")
+        for a, b in zip(f, r):
+            diff = max(diff, abs(a.score - b.score))
+    return diff
+
+
+def serving_oracles(dataset=None, seed: int = 0) -> List[OracleResult]:
+    """Batch serving engine vs the scalar ``_reference_*`` paths.
+
+    Runs over a random embedding store with *planted duplicate rows* so
+    exact score ties exercise the stable tie-break, and over a source set
+    that includes cold-start nodes (no neighbors under the queried
+    relationship) when the graph has any.
+    """
+    from repro.core.persistence import EmbeddingStore
+    from repro.core.recommender import Recommender
+    from repro.eval.ranking import _reference_ranked_candidates
+
+    if dataset is None:
+        dataset = _default_graph(seed)
+    graph = dataset.graph
+    rng = np.random.default_rng(seed)
+    relation = graph.schema.relationships[0]
+
+    tables = {
+        rel: rng.standard_normal((graph.num_nodes, 12))
+        for rel in graph.schema.relationships
+    }
+    # Plant exact ties: duplicated embedding rows score identically, so the
+    # stable (ascending-node-id) tie-break is actually exercised.
+    for table in tables.values():
+        clones = rng.choice(graph.num_nodes, size=min(8, graph.num_nodes), replace=False)
+        table[clones[1::2]] = table[clones[0::2]][: len(clones[1::2])]
+    store = EmbeddingStore(tables)
+    recommender = Recommender(store, graph)
+
+    degrees = graph.degrees(relation)
+    warm = np.flatnonzero(degrees > 0)[:10]
+    cold = np.flatnonzero(degrees == 0)[:3]
+    sources = np.concatenate([warm, cold]).astype(np.int64)
+    results: List[OracleResult] = []
+
+    # --- batched top-K vs the per-source reference loop (ties included)
+    fast = recommender.recommend_batch(sources, relation, k=10)
+    ref = recommender._reference_recommend_batch(sources, relation, k=10)
+    diff = max(
+        _recommendation_lists_diff(fast, ref),
+        _recommendation_scores_diff(fast, ref),
+    )
+    results.append(_result(
+        "recommend_batch_equivalence", "serving", diff,
+        f"engine matmul+argpartition vs scalar loop ({len(sources)} sources, "
+        f"{len(cold)} cold)",
+    ))
+
+    # --- scalar recommend stays bit-identical through the engine
+    diff = 0.0
+    for source in sources[:6].tolist():
+        fast_one = recommender.recommend(source, relation, k=7)
+        ref_one = recommender._reference_recommend(source, relation, k=7)
+        diff = max(
+            diff,
+            _recommendation_lists_diff([fast_one], [ref_one]),
+            _recommendation_scores_diff([fast_one], [ref_one]),
+        )
+    results.append(_result(
+        "recommend_scalar_equivalence", "serving", diff,
+        "single-source engine path vs reference full argsort",
+    ))
+
+    # --- cosine similarity with cached norms vs per-node recomputation
+    probe = rng.choice(graph.num_nodes, size=6, replace=False)
+    fast = [recommender.similar_nodes(int(n), relation, k=8) for n in probe]
+    ref = [recommender._reference_similar_nodes(int(n), relation, k=8) for n in probe]
+    diff = max(
+        _recommendation_lists_diff(fast, ref),
+        _recommendation_scores_diff(fast, ref),
+    )
+    results.append(_result(
+        "similar_nodes_equivalence", "serving", diff,
+        "cached-norm cosine top-K vs per-node gathered reference",
+    ))
+
+    # --- full-ranking path (the evaluator workload): exact order match
+    engine = recommender.engine
+    diff = 0.0
+    eval_sources = warm[:6]
+    if len(eval_sources):
+        target_type = graph.node_type(
+            int(graph.neighbors(int(eval_sources[0]), relation)[0])
+        )
+        fast_rankings = engine.rank_all(
+            eval_sources, relation, target_type=target_type
+        )
+        for source, ranked in zip(eval_sources.tolist(), fast_rankings):
+            expected = _reference_ranked_candidates(
+                store, graph, source, relation, target_type
+            )
+            if ranked.tolist() != expected.tolist():
+                diff = float("inf")
+    results.append(_result(
+        "ranking_order_equivalence", "serving", diff,
+        "engine rank_all vs pre-engine per-source ranking loop",
+    ))
+
+    return results
+
+
+# ======================================================================
 # Suite driver
 # ======================================================================
 def run_oracle_suite(seed: int = 0, dataset=None) -> List[OracleResult]:
-    """All oracle families; sampling runs on ``dataset`` (taobao-alike default)."""
+    """All oracle families; graph-based ones run on ``dataset``
+    (taobao-alike default)."""
     results = sampling_oracles(dataset=dataset, seed=seed)
     results += metric_oracles(seed=seed)
     results += model_oracles(seed=seed)
+    results += serving_oracles(dataset=dataset, seed=seed)
     return results
 
 

@@ -61,17 +61,22 @@ class TestRecommender:
         known = set(graph.neighbors(user, "page_view").tolist())
         assert known <= set(pool.tolist())
 
-    def test_isolated_source_needs_explicit_type(self, recommender, taobao_split):
+    def test_isolated_source_resolves_type_from_schema(
+        self, recommender, taobao_split
+    ):
+        # Regression: cold-start nodes used to raise EvaluationError unless
+        # the caller passed target_type; the type is now inferred from the
+        # relationship's schema-level endpoint map.
         graph = taobao_split.train_graph
         users = graph.nodes_of_type("user")
         isolated = [u for u in users if graph.degree(int(u), "purchase") == 0]
         if not isolated:
             pytest.skip("no isolated user under purchase")
         user = int(isolated[0])
-        with pytest.raises(EvaluationError):
-            recommender.recommend(user, "purchase", k=3)
-        recs = recommender.recommend(user, "purchase", k=3, target_type="item")
-        assert len(recs) == 3
+        inferred = recommender.recommend(user, "purchase", k=3)
+        explicit = recommender.recommend(user, "purchase", k=3, target_type="item")
+        assert inferred == explicit
+        assert len(inferred) == 3
 
     def test_invalid_k(self, recommender):
         with pytest.raises(EvaluationError):
@@ -116,6 +121,41 @@ class TestCheckpoints:
         with pytest.raises(ReproError):
             load_checkpoint_into(model, path)
 
+    def test_suffixless_path_roundtrips(self, model, taobao_dataset, taobao_split,
+                                        tiny_hybrid_config, tmp_path):
+        # Regression: np.savez_compressed silently appends ".npz", so saving
+        # to "ckpt" wrote "ckpt.npz" while loading looked for "ckpt" and
+        # failed.  Save must report the real path and load must accept the
+        # suffix-less spelling.
+        requested = tmp_path / "ckpt"
+        written = save_checkpoint(model, requested)
+        assert written == tmp_path / "ckpt.npz"
+        assert written.exists()
+        assert not requested.exists()
+        clone = HybridGNN(
+            taobao_split.train_graph, taobao_dataset.all_schemes(),
+            tiny_hybrid_config, rng=123,
+        )
+        load_checkpoint_into(clone, requested)  # suffix-less, as saved
+        for (_, param_a), (_, param_b) in zip(
+            model.named_parameters(), clone.named_parameters()
+        ):
+            np.testing.assert_array_equal(param_a.data, param_b.data)
+
+    def test_meta_parameter_name_rejected(self, model, tmp_path):
+        # Regression: a parameter named "__meta__" used to silently collide
+        # with the archive's metadata entry and corrupt the checkpoint.
+        from repro.nn.module import Module, Parameter
+
+        class Poisoned(Module):
+            def __init__(self):
+                super().__init__()
+                setattr(self, "__meta__", Parameter(np.zeros(2)))
+
+        with pytest.raises(ReproError, match="reserved"):
+            save_checkpoint(Poisoned(), tmp_path / "poisoned.npz")
+        assert not (tmp_path / "poisoned.npz").exists()
+
 
 class TestEmbeddingExport:
     def test_roundtrip(self, model, taobao_split, tmp_path):
@@ -154,3 +194,20 @@ class TestEmbeddingExport:
             EmbeddingStore({"a": np.zeros((3, 2)), "b": np.zeros((4, 2))})
         with pytest.raises(ReproError):
             EmbeddingStore({})
+
+    def test_suffixless_path_roundtrips(self, model, taobao_split, tmp_path):
+        graph = taobao_split.train_graph
+        requested = tmp_path / "embeddings"
+        written = export_embeddings(
+            model, graph.num_nodes, ["page_view"], requested
+        )
+        assert written == tmp_path / "embeddings.npz"
+        store = load_embeddings(requested)  # suffix-less, as saved
+        np.testing.assert_array_equal(
+            store.node_embeddings(np.arange(5), "page_view"),
+            model.node_embeddings(np.arange(5), "page_view"),
+        )
+
+    def test_meta_relation_name_rejected(self, model, tmp_path):
+        with pytest.raises(ReproError, match="reserved"):
+            export_embeddings(model, 4, ["__meta__"], tmp_path / "bad.npz")

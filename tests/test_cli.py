@@ -92,6 +92,58 @@ class TestTrainEvaluateRecommend:
         assert checkpoint.exists()
 
 
+class TestServingCLI:
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory):
+        """One DeepWalk training run shared by the serving CLI tests.
+
+        Saved through a suffix-less path on purpose: the CLI must report
+        and round-trip the normalised ``.npz`` location.
+        """
+        tmp = tmp_path_factory.mktemp("serving_cli")
+        requested = tmp / "emb"  # no .npz suffix
+        code = main([
+            "train", "--dataset", "amazon", "--scale", "0.15",
+            "--model", "DeepWalk", "--seed", "1",
+            "--save-embeddings", str(requested),
+        ])
+        assert code == 0
+        assert (tmp / "emb.npz").exists()
+        return requested
+
+    def test_suffixless_export_path_reported_and_loadable(self, exported, capsys):
+        # Regression: the CLI used to print the requested path while numpy
+        # wrote "<path>.npz"; evaluate with the suffix-less spelling works.
+        code = main([
+            "evaluate", "--dataset", "amazon", "--scale", "0.15",
+            "--seed", "1", "--embeddings", str(exported),
+        ])
+        assert code == 0
+        assert "Stored embeddings" in capsys.readouterr().out
+
+    def test_batch_recommend(self, exported, capsys):
+        code = main([
+            "recommend", "--dataset", "amazon", "--scale", "0.15",
+            "--seed", "1", "--embeddings", str(exported),
+            "--nodes", "0,1,2", "--relation", "common_bought", "--k", "3",
+            "--stats",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "for 3 nodes (batch)" in out
+        assert "Source" in out
+        assert "serving." in out  # --stats prints stage timings
+
+    def test_recommend_requires_a_node_argument(self, exported, capsys):
+        code = main([
+            "recommend", "--dataset", "amazon", "--scale", "0.15",
+            "--seed", "1", "--embeddings", str(exported),
+            "--relation", "common_bought",
+        ])
+        assert code == 2
+        assert "--nodes" in capsys.readouterr().err
+
+
 class TestArgumentValidation:
     def test_unknown_dataset_rejected(self):
         with pytest.raises(SystemExit):

@@ -12,6 +12,7 @@ from repro.verify.oracles import (
     model_oracles,
     run_oracle_suite,
     sampling_oracles,
+    serving_oracles,
 )
 
 
@@ -34,9 +35,9 @@ class TestSuite:
         assert all(r.max_abs_diff < 1e-6 for r in suite_results)
         assert all(r.tolerance == DEFAULT_TOLERANCE for r in suite_results)
 
-    def test_covers_all_three_families(self, suite_results):
+    def test_covers_all_families(self, suite_results):
         components = {r.component for r in suite_results}
-        assert components == {"sampling", "metrics", "model"}
+        assert components == {"sampling", "metrics", "model", "serving"}
 
     def test_walker_equivalence_oracles_are_exact(self, suite_results):
         by_name = {r.name: r for r in suite_results}
@@ -77,6 +78,15 @@ class TestFamilies:
         for seed in (0, 1, 2):
             results = model_oracles(seed=seed)
             assert all(r.passed for r in results), seed
+
+    def test_serving_family_is_order_exact(self, taobao_dataset):
+        for seed in (0, 1, 2):
+            results = serving_oracles(dataset=taobao_dataset, seed=seed)
+            assert all(r.passed for r in results), seed
+            assert {r.component for r in results} == {"serving"}
+            by_name = {r.name: r for r in results}
+            # Full-ranking equivalence is list-order exact, not just close.
+            assert by_name["ranking_order_equivalence"].max_abs_diff == 0.0
 
     def test_metric_oracles_cover_every_public_metric(self):
         names = {r.name for r in metric_oracles(seed=0)}
