@@ -37,6 +37,7 @@ Quickstart
 """
 
 from repro.errors import (
+    AnomalyError,
     AutogradError,
     DatasetError,
     EvaluationError,
@@ -44,6 +45,7 @@ from repro.errors import (
     MetapathError,
     ReproError,
     SamplingError,
+    SanitizerError,
     SchemaError,
     ShapeError,
     TrainingError,
@@ -63,4 +65,18 @@ __all__ = [
     "TrainingError",
     "EvaluationError",
     "DatasetError",
+    "SanitizerError",
+    "AnomalyError",
+    "run_lint",
 ]
+
+
+def __getattr__(name: str):
+    # PEP 562 lazy export: `repro.run_lint` reaches the project linter
+    # (repro.lint, the *code* analyzer — distinct from repro.analysis, the
+    # embedding/result analyzer) without importing it on package import.
+    if name == "run_lint":
+        from repro.lint import run_lint
+
+        return run_lint
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

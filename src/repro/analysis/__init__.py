@@ -1,4 +1,10 @@
-"""Graph and embedding analysis utilities."""
+"""Graph and embedding analysis utilities.
+
+Naming note: this package analyzes *results* — multiplexity structure of
+the input graphs and the health/geometry of trained embeddings.  Static
+analysis of the repository's own source code lives in :mod:`repro.lint`
+(the ``python -m repro lint`` AST linter); the two are unrelated.
+"""
 
 from repro.analysis.multiplexity import (
     MultiplexityProfile,

@@ -20,6 +20,9 @@ Commands
 ``verify``
     Run the correctness verification suites (gradcheck registry,
     differential oracles, golden regression corpus); see TESTING.md.
+``lint``
+    Run the project's AST lint rules (R001-R007) over the source tree
+    against the committed baseline; see TESTING.md.
 """
 
 from __future__ import annotations
@@ -232,6 +235,14 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the linter (and the registry introspection R006
+    # pulls in) is not needed by any other command.
+    from repro.lint.cli import cmd_lint as run
+
+    return run(args)
+
+
 _TABLES = {
     "3": lambda profile: tables_mod.render_link_prediction(
         tables_mod.table3(profile=profile), "Table III"),
@@ -330,6 +341,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--report", default="", help="path for a JSON report")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("lint", help="run the project linter (AST rules R001-R007)")
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(p)
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("number", choices=sorted(_FIGURES))

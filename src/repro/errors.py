@@ -36,6 +36,19 @@ class AutogradError(ReproError):
     """Backward propagation was requested in an invalid state."""
 
 
+class SanitizerError(ReproError):
+    """The autograd sanitizer detected a corrupted computation graph.
+
+    Raised at ``backward()`` time when a tensor saved by a forward pass was
+    mutated before its gradient was computed (see
+    :mod:`repro.nn.sanitizer`).
+    """
+
+
+class AnomalyError(SanitizerError):
+    """``detect_anomaly()`` observed a NaN/Inf value during autograd."""
+
+
 class TrainingError(ReproError):
     """Model training failed or was configured inconsistently."""
 

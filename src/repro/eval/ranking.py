@@ -32,6 +32,7 @@ from repro.eval.metrics import (
     reciprocal_rank,
 )
 from repro.graph.multiplex import MultiplexHeteroGraph
+from repro.utils.rng import as_rng
 
 
 @dataclass
@@ -108,7 +109,7 @@ def evaluate_ranking(
             positives_by_src[u].append(v)
         sources = sorted(positives_by_src)
         if max_sources is not None and len(sources) > max_sources:
-            chooser = rng or np.random.default_rng(0)
+            chooser = as_rng(rng if rng is not None else 0)
             sources = sorted(chooser.choice(sources, size=max_sources, replace=False).tolist())
         if not sources:
             continue

@@ -1,0 +1,47 @@
+"""Static **code** analysis for the reproduction: the ``repro lint`` rules.
+
+Naming note: this package lints the *source tree* (AST rules R001–R007,
+suppression markers, committed baseline).  It is deliberately distinct
+from :mod:`repro.analysis`, which analyses *embeddings and results* —
+``lint`` is about the code, ``analysis`` is about the model outputs.
+
+Public surface:
+
+- :func:`repro.lint.engine.run_lint` (re-exported here and lazily from the
+  top-level :mod:`repro` package) — run the full rule set over a tree;
+- :mod:`repro.lint.rules` — the rule classes and ``all_rules()``;
+- :mod:`repro.lint.baseline` — committed-debt bookkeeping;
+- ``python -m repro lint`` — the CLI (see :mod:`repro.lint.cli`).
+"""
+
+from repro.lint.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    default_baseline_path,
+    load_baseline,
+)
+from repro.lint.engine import (
+    Finding,
+    LintReport,
+    format_json,
+    format_text,
+    lint_source,
+    run_lint,
+)
+from repro.lint.rules import RULES, Rule, all_rules
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "run_lint",
+    "lint_source",
+    "format_text",
+    "format_json",
+    "Rule",
+    "RULES",
+    "all_rules",
+    "BaselineEntry",
+    "load_baseline",
+    "apply_baseline",
+    "default_baseline_path",
+]

@@ -1,0 +1,88 @@
+"""Committed lint baseline: existing debt, made explicit.
+
+The baseline file (``src/repro/lint/baseline.json``) lists findings that
+are deliberately kept, each with a reason.  ``repro lint`` subtracts them
+from the actionable set; ``--strict`` additionally fails when a baseline
+entry no longer matches anything (stale debt must be deleted, not hoarded).
+
+Entries are keyed by ``(code, path, message)`` rather than line numbers so
+unrelated edits do not invalidate them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.engine import Finding
+
+__all__ = ["BaselineEntry", "default_baseline_path", "load_baseline", "apply_baseline"]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding; ``reason`` documents why it stays."""
+
+    code: str
+    path: str
+    message: str
+    reason: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.code, self.path, self.message)
+
+    def to_dict(self) -> Dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "message": self.message,
+            "reason": self.reason,
+        }
+
+
+def default_baseline_path() -> Path:
+    return Path(__file__).resolve().parent / "baseline.json"
+
+
+def load_baseline(path: Optional[Path] = None) -> List[BaselineEntry]:
+    """Load baseline entries; a missing file is an empty baseline."""
+    path = Path(path) if path is not None else default_baseline_path()
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    entries = payload["entries"] if isinstance(payload, dict) else payload
+    return [
+        BaselineEntry(
+            code=entry["code"],
+            path=entry["path"],
+            message=entry["message"],
+            reason=entry.get("reason", ""),
+        )
+        for entry in entries
+    ]
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    entries: Sequence[BaselineEntry],
+) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+    """Split findings into (actionable, baselined); also return stale entries.
+
+    A baseline entry is *stale* when no current finding matches it — the
+    debt it recorded was paid off and the entry should be removed.
+    """
+    by_key = {entry.key: entry for entry in entries}
+    actionable: List[Finding] = []
+    baselined: List[Finding] = []
+    used = set()
+    for finding in findings:
+        if finding.key in by_key:
+            baselined.append(finding)
+            used.add(finding.key)
+        else:
+            actionable.append(finding)
+    stale = [entry for entry in entries if entry.key not in used]
+    return actionable, baselined, stale

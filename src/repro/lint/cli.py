@@ -1,0 +1,50 @@
+"""``python -m repro lint`` — the project linter front end.
+
+Exit status: 0 when every finding is baselined or suppressed; 1 when
+actionable findings remain, or (with ``--strict``) when the baseline
+contains stale entries.  CI runs ``repro lint --strict --format json`` as a
+blocking job and archives the JSON report.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Optional
+
+from repro.lint.baseline import default_baseline_path
+from repro.lint.engine import format_json, format_text, run_lint
+
+__all__ = ["add_lint_arguments", "cmd_lint"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint CLI surface to an argparse (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default="",
+        help=f"baseline file (default: {default_baseline_path()})",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="also fail on stale baseline entries (CI mode)",
+    )
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    baseline: Optional[Path] = Path(args.baseline) if args.baseline else None
+    report = run_lint(paths=args.paths or None, baseline_path=baseline)
+    if args.format == "json":
+        print(format_json(report))
+    else:
+        print(format_text(report))
+    if args.strict:
+        return 0 if report.strict_passed else 1
+    return 0 if report.passed else 1

@@ -1,0 +1,266 @@
+"""Core of ``repro lint``: file walking, suppression, reporting.
+
+The engine parses every Python file under the lint root (by default the
+installed ``repro`` package itself), runs each registered
+:class:`~repro.lint.rules.Rule` over the AST, honours per-line
+``# repro-lint: disable=RXXX`` suppressions, subtracts the committed
+baseline (:mod:`repro.lint.baseline`), and renders the result as text or
+JSON.  See TESTING.md ("Static analysis & sanitizers") for the workflow.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintReport",
+    "default_root",
+    "lint_source",
+    "lint_file",
+    "run_lint",
+    "format_text",
+    "format_json",
+]
+
+#: Per-line suppression marker: ``# repro-lint: disable=R001`` (or a
+#: comma-separated list, or ``all``).
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Pseudo-rule code for files the engine cannot parse.
+PARSE_ERROR_CODE = "E001"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, addressable by a stable (code, path, message) key."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline identity: line numbers shift, messages rarely do."""
+        return (self.code, self.path, self.message)
+
+    def to_dict(self) -> Dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class FileContext:
+    """Parsed source handed to each rule."""
+
+    rel_path: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, source: str, rel_path: str) -> "FileContext":
+        return cls(
+            rel_path=rel_path,
+            source=source,
+            tree=ast.parse(source),
+            lines=source.splitlines(),
+        )
+
+
+def _suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the codes suppressed on that line."""
+    table: Dict[int, Set[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match:
+            codes = {token.strip() for token in match.group(1).split(",")}
+            table[number] = {code for code in codes if code}
+    return table
+
+
+def default_root() -> Path:
+    """The directory linted when no paths are given: the repro package."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _iter_files(paths: Sequence[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                if "__pycache__" not in file.parts:
+                    yield file
+        else:
+            yield path
+
+
+def _default_rules():
+    from repro.lint.rules import all_rules
+
+    return all_rules()
+
+
+def lint_source(
+    source: str,
+    rel_path: str,
+    rules=None,
+) -> Tuple[List[Finding], int]:
+    """Lint one source string; returns (findings, suppressed_count).
+
+    Findings carrying a same-line ``# repro-lint: disable=`` marker for
+    their code (or ``all``) are dropped and counted instead.
+    """
+    if rules is None:
+        rules = _default_rules()
+    try:
+        ctx = FileContext.parse(source, rel_path)
+    except SyntaxError as exc:
+        finding = Finding(
+            code=PARSE_ERROR_CODE,
+            path=rel_path,
+            line=exc.lineno or 1,
+            col=exc.offset or 0,
+            message=f"could not parse file: {exc.msg}",
+            hint="repro lint only runs on syntactically valid Python",
+        )
+        return [finding], 0
+
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.applies_to(rel_path):
+            raw.extend(rule.check(ctx))
+
+    suppressed_on = _suppressions(ctx.lines)
+    findings: List[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        codes = suppressed_on.get(finding.line, ())
+        if finding.code in codes or "all" in codes:
+            suppressed += 1
+        else:
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings, suppressed
+
+
+def lint_file(path: Path, rel_path: str, rules=None) -> Tuple[List[Finding], int]:
+    return lint_source(path.read_text(encoding="utf-8"), rel_path, rules=rules)
+
+
+@dataclass
+class LintReport:
+    """Outcome of a full lint run."""
+
+    root: str
+    files_checked: int = 0
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale_baseline: List[Dict] = field(default_factory=list)
+    suppressed: int = 0
+
+    @property
+    def passed(self) -> bool:
+        """No actionable (non-baselined, non-suppressed) findings."""
+        return not self.findings
+
+    @property
+    def strict_passed(self) -> bool:
+        """``passed`` plus no stale baseline entries left behind."""
+        return self.passed and not self.stale_baseline
+
+    def to_dict(self) -> Dict:
+        return {
+            "root": self.root,
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "stale_baseline": list(self.stale_baseline),
+            "suppressed": self.suppressed,
+            "passed": self.passed,
+            "strict_passed": self.strict_passed,
+        }
+
+
+def run_lint(
+    paths: Optional[Sequence] = None,
+    root: Optional[Path] = None,
+    baseline_path: Optional[Path] = None,
+    rules=None,
+) -> LintReport:
+    """Lint ``paths`` (default: the whole repro package) against a baseline.
+
+    ``root`` anchors the relative paths used in findings and in the
+    baseline file; it defaults to the repro package directory so baselines
+    stay stable regardless of where the tree is checked out.
+    """
+    from repro.lint.baseline import apply_baseline, load_baseline
+
+    root = Path(root).resolve() if root is not None else default_root()
+    targets = [Path(p).resolve() for p in paths] if paths else [root]
+    if rules is None:
+        rules = _default_rules()
+
+    report = LintReport(root=str(root))
+    all_findings: List[Finding] = []
+    for file in _iter_files(targets):
+        try:
+            rel_path = file.relative_to(root).as_posix()
+        except ValueError:
+            rel_path = file.name
+        findings, suppressed = lint_file(file, rel_path, rules=rules)
+        all_findings.extend(findings)
+        report.suppressed += suppressed
+        report.files_checked += 1
+
+    entries = load_baseline(baseline_path)
+    kept, baselined, stale = apply_baseline(all_findings, entries)
+    report.findings = kept
+    report.baselined = baselined
+    report.stale_baseline = [entry.to_dict() for entry in stale]
+    return report
+
+
+def format_text(report: LintReport) -> str:
+    """Human-readable rendering, one finding per line plus a summary."""
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.code} {finding.message}"
+        )
+        if finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    for entry in report.stale_baseline:
+        lines.append(
+            f"stale baseline entry: {entry['code']} {entry['path']}: "
+            f"{entry['message']} (fixed? remove it from the baseline)"
+        )
+    lines.append(
+        f"repro lint: {report.files_checked} files, "
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.baselined)} baselined, {report.suppressed} suppressed"
+        + (f", {len(report.stale_baseline)} stale baseline entr(y/ies)"
+           if report.stale_baseline else "")
+    )
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    return json.dumps(report.to_dict(), indent=2)

@@ -12,6 +12,9 @@ implementation.  Public surface:
   :class:`LayerNorm`, :class:`SelfAttention`, and the three neighborhood
   aggregators (mean / max-pool / LSTM)
 - optimisers: :class:`SGD`, :class:`Adam`
+- runtime sanitizers: :func:`~repro.nn.sanitizer.sanitize` (saved-tensor
+  mutation tracking via the Tensor version counter) and
+  :func:`~repro.nn.sanitizer.detect_anomaly` (NaN/Inf provenance)
 """
 
 from repro.nn.tensor import (
@@ -41,6 +44,14 @@ from repro.nn.aggregators import (
     make_aggregator,
 )
 from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.sanitizer import (
+    anomaly_enabled,
+    detect_anomaly,
+    sanitize,
+    sanitizer_enabled,
+    set_detect_anomaly,
+    set_sanitizer,
+)
 from repro.nn import init
 
 __all__ = [
@@ -71,4 +82,10 @@ __all__ = [
     "SGD",
     "Adam",
     "init",
+    "sanitize",
+    "set_sanitizer",
+    "sanitizer_enabled",
+    "detect_anomaly",
+    "set_detect_anomaly",
+    "anomaly_enabled",
 ]

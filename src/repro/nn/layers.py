@@ -55,7 +55,7 @@ class Dropout(Module):
         self._rng = as_rng(rng)
 
     def forward(self, x: Tensor) -> Tensor:
-        if not self.training or self.p == 0.0:
+        if not self.training or self.p <= 0.0:
             return x
         keep = 1.0 - self.p
         mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep

@@ -1,0 +1,107 @@
+"""Runtime sanitizers for the numpy autograd engine.
+
+Two independent, opt-in checks guard the invariants the reproduction's
+credibility rests on (see DESIGN.md, "Tensor version-counter contract"):
+
+**Mutation tracking** (:func:`sanitize` / :func:`set_sanitizer`)
+    Every :class:`~repro.nn.tensor.Tensor` carries an integer version that
+    the sanctioned write path (assignment to ``tensor.data``) bumps.  While
+    tracking is enabled, each op records the versions of the tensors it
+    saves for backward; ``backward()`` re-checks them and raises
+    :class:`~repro.errors.SanitizerError` naming the op whose saved inputs
+    were mutated after the forward pass — the bug class that otherwise
+    silently mis-computes gradients through stale ``_backward`` closures.
+
+**Anomaly detection** (:func:`detect_anomaly`)
+    While enabled, every op output is checked for NaN/Inf at creation time
+    and every node gradient is checked during backward;
+    :class:`~repro.errors.AnomalyError` is raised at the *creating* op with
+    its name and parent shapes, instead of letting the NaN wash through to
+    the loss.
+
+Both default to **off**: the only cost on the default path is one integer
+flag compare per op (see ``tests/nn/test_sanitizer.py``), and training runs
+are bit-identical with the sanitizer on or off — the checks never alter
+numerics, they only raise.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = [
+    "sanitize",
+    "set_sanitizer",
+    "sanitizer_enabled",
+    "detect_anomaly",
+    "set_detect_anomaly",
+    "anomaly_enabled",
+]
+
+
+class _State:
+    """Process-wide sanitizer flags, read by the tensor hot path.
+
+    ``track`` and ``anomaly`` are plain ints so the per-op guard compiles
+    to a single attribute load + truthiness test.
+    """
+
+    __slots__ = ("track", "anomaly")
+
+    def __init__(self) -> None:
+        self.track = 0
+        self.anomaly = 0
+
+
+STATE = _State()
+
+
+def set_sanitizer(enabled: bool = True) -> bool:
+    """Turn mutation tracking on/off; returns the previous setting."""
+    previous = bool(STATE.track)
+    STATE.track = 1 if enabled else 0
+    return previous
+
+
+def sanitizer_enabled() -> bool:
+    """True while mutation tracking is active."""
+    return bool(STATE.track)
+
+
+@contextmanager
+def sanitize():
+    """Context manager enabling mutation tracking for its body.
+
+    >>> with sanitize():
+    ...     loss = model(batch).sum()
+    ...     loss.backward()  # raises SanitizerError on stale saved tensors
+    """
+    previous = set_sanitizer(True)
+    try:
+        yield
+    finally:
+        set_sanitizer(previous)
+
+
+def set_detect_anomaly(enabled: bool = True) -> bool:
+    """Turn NaN/Inf anomaly detection on/off; returns the previous setting."""
+    previous = bool(STATE.anomaly)
+    STATE.anomaly = 1 if enabled else 0
+    return previous
+
+
+def anomaly_enabled() -> bool:
+    """True while anomaly detection is active."""
+    return bool(STATE.anomaly)
+
+
+@contextmanager
+def detect_anomaly():
+    """Context manager raising :class:`~repro.errors.AnomalyError` on the
+    first non-finite op output (with the creating op's name and parent
+    shapes) or non-finite gradient seen during backward."""
+    previous = set_detect_anomaly(True)
+    try:
+        yield
+    finally:
+        set_detect_anomaly(previous)

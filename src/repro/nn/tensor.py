@@ -9,6 +9,16 @@ scalar result propagates gradients to every tensor created with
 Only the operations needed by the models in this repository are implemented,
 but each is fully general (broadcasting, batched matmul, arbitrary axes) and
 covered by numeric gradient checks in the test suite.
+
+Every tensor also carries an integer :attr:`Tensor.version` bumped by the
+sanctioned write path (assignment to ``tensor.data``).  When the opt-in
+sanitizer is active (:mod:`repro.nn.sanitizer`), each op additionally
+records the versions of the tensors it saves for backward, and
+:meth:`Tensor.backward` raises :class:`~repro.errors.SanitizerError` naming
+the op whose saved inputs were mutated after the forward pass.  In-place
+numpy writes that bypass ``tensor.data`` assignment (slice stores, ``out=``)
+are invisible to the counter — the project linter (``python -m repro lint``,
+rule R003) forbids them outside the whitelisted optimizer/init modules.
 """
 
 from __future__ import annotations
@@ -17,7 +27,8 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import AutogradError, ShapeError
+from repro.errors import AnomalyError, AutogradError, SanitizerError, ShapeError
+from repro.nn.sanitizer import STATE as _SANITIZER
 
 ArrayLike = Union[float, int, Sequence, np.ndarray, "Tensor"]
 
@@ -48,50 +59,92 @@ class Tensor:
         If True, gradients accumulate into :attr:`grad` during backward.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "_data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "name",
+        "_version",
+        "_op",
+        "_saved_versions",
+    )
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
         if isinstance(data, Tensor):
-            data = data.data
-        self.data: np.ndarray = np.asarray(data, dtype=np.float64)
+            data = data._data
+        self._data: np.ndarray = np.asarray(data, dtype=np.float64)
         self.requires_grad: bool = bool(requires_grad)
         self.grad: Optional[np.ndarray] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
         self.name = name
+        self._version: int = 0
+        self._op: Optional[str] = None
+        self._saved_versions: Optional[Tuple[int, ...]] = None
+
+    # ------------------------------------------------------------------
+    # Data access: ``tensor.data = array`` is the sanctioned write path
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @data.setter
+    def data(self, value: ArrayLike) -> None:
+        if isinstance(value, Tensor):
+            value = value._data
+        self._data = np.asarray(value, dtype=np.float64)
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Write-path version counter (see :mod:`repro.nn.sanitizer`).
+
+        Bumped by every assignment to :attr:`data`, including augmented
+        assignments such as ``param.data -= update`` (they re-assign the
+        attribute after the in-place numpy op).
+        """
+        return self._version
+
+    @property
+    def op(self) -> Optional[str]:
+        """Name of the autograd op that created this tensor, if any."""
+        return self._op
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def shape(self) -> Tuple[int, ...]:
-        return self.data.shape
+        return self._data.shape
 
     @property
     def ndim(self) -> int:
-        return self.data.ndim
+        return self._data.ndim
 
     @property
     def size(self) -> int:
-        return self.data.size
+        return self._data.size
 
     def numpy(self) -> np.ndarray:
         """Return the underlying array (no copy)."""
-        return self.data
+        return self._data
 
     def item(self) -> float:
-        return float(self.data)
+        return float(self._data)
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut off from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor(self._data, requires_grad=False)
 
     def __repr__(self) -> str:
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
         return f"Tensor(shape={self.shape}{grad_flag})"
 
     def __len__(self) -> int:
-        return len(self.data)
+        return len(self._data)
 
     # ------------------------------------------------------------------
     # Graph construction helper
@@ -101,20 +154,52 @@ class Tensor:
         data: np.ndarray,
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
+        op: str = "",
     ) -> "Tensor":
         out = Tensor(data)
+        if _SANITIZER.anomaly and not np.isfinite(data).all():
+            bad = int(data.size - np.count_nonzero(np.isfinite(data)))
+            shapes = ", ".join(str(p.shape) for p in parents) or "none"
+            raise AnomalyError(
+                f"detect_anomaly: op '{op}' produced {bad} non-finite "
+                f"value(s) in an output of shape {np.shape(data)} "
+                f"(parent shapes: {shapes})"
+            )
         if any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = parents
             out._backward = backward
+            out._op = op
+            if _SANITIZER.track:
+                out._saved_versions = (
+                    out._version,
+                ) + tuple(p._version for p in parents)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
+            self.grad = np.zeros_like(self._data)
         self.grad += grad
+
+    def _check_saved_versions(self) -> None:
+        """Raise if a tensor saved by this op's forward was since mutated."""
+        saved = self._saved_versions
+        tensors = (self,) + self._parents
+        for index, (tensor, expected) in enumerate(zip(tensors, saved)):
+            if tensor._version == expected:
+                continue
+            label = "output" if index == 0 else f"input {index - 1}"
+            described = f"'{tensor.name}' " if tensor.name else ""
+            raise SanitizerError(
+                f"a tensor saved for the backward of op '{self._op}' was "
+                f"mutated after the forward pass: {label} {described}"
+                f"(shape {tensor.shape}) is at version {tensor._version}, "
+                f"expected {expected}. Writing through `tensor.data` "
+                "invalidates activations captured by the op's backward "
+                "closure; run backward() first or operate on a copy."
+            )
 
     # ------------------------------------------------------------------
     # Backward pass
@@ -128,14 +213,14 @@ class Tensor:
         if not self.requires_grad:
             raise AutogradError("backward() called on a tensor that does not require grad")
         if grad is None:
-            if self.data.size != 1:
+            if self._data.size != 1:
                 raise AutogradError(
                     "backward() without an explicit gradient requires a scalar output, "
                     f"got shape {self.shape}"
                 )
-            grad = np.ones_like(self.data)
+            grad = np.ones_like(self._data)
         grad = np.asarray(grad, dtype=np.float64)
-        if grad.shape != self.data.shape:
+        if grad.shape != self._data.shape:
             raise ShapeError(
                 f"gradient shape {grad.shape} does not match tensor shape {self.shape}"
             )
@@ -157,9 +242,28 @@ class Tensor:
                     stack.append((parent, False))
 
         self._accumulate(grad)
+        anomaly = _SANITIZER.anomaly
+        if anomaly and not np.isfinite(grad).all():
+            raise AnomalyError(
+                f"detect_anomaly: backward() was seeded with a non-finite "
+                f"gradient (shape {grad.shape})"
+            )
         for node in reversed(topo):
-            if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+            if node._backward is None or node.grad is None:
+                continue
+            if node._saved_versions is not None:
+                node._check_saved_versions()
+            node._backward(node.grad)
+            if anomaly:
+                for index, parent in enumerate(node._parents):
+                    if parent.grad is None or np.isfinite(parent.grad).all():
+                        continue
+                    described = f" '{parent.name}'" if parent.name else ""
+                    raise AnomalyError(
+                        f"detect_anomaly: backward of op '{node._op}' "
+                        f"produced a non-finite gradient for input {index}"
+                        f"{described} (shape {parent.shape})"
+                    )
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -173,13 +277,13 @@ class Tensor:
 
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
-        out_data = self.data + other.data
+        out_data = self._data + other._data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad, self.data.shape))
-            other._accumulate(_unbroadcast(grad, other.data.shape))
+            self._accumulate(_unbroadcast(grad, self._data.shape))
+            other._accumulate(_unbroadcast(grad, other._data.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, op="add")
 
     __radd__ = __add__
 
@@ -187,7 +291,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
 
-        return Tensor._make(-self.data, (self,), backward)
+        return Tensor._make(-self._data, (self,), backward, op="neg")
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         return self + (-self._coerce(other))
@@ -197,27 +301,27 @@ class Tensor:
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
-        out_data = self.data * other.data
+        out_data = self._data * other._data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad * other.data, self.data.shape))
-            other._accumulate(_unbroadcast(grad * self.data, other.data.shape))
+            self._accumulate(_unbroadcast(grad * other._data, self._data.shape))
+            other._accumulate(_unbroadcast(grad * self._data, other._data.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, op="mul")
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
-        out_data = self.data / other.data
+        out_data = self._data / other._data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad / other.data, self.data.shape))
+            self._accumulate(_unbroadcast(grad / other._data, self._data.shape))
             other._accumulate(
-                _unbroadcast(-grad * self.data / (other.data**2), other.data.shape)
+                _unbroadcast(-grad * self._data / (other._data**2), other._data.shape)
             )
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, op="truediv")
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return self._coerce(other) / self
@@ -225,22 +329,22 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
             raise ShapeError("only scalar exponents are supported")
-        out_data = self.data**exponent
+        out_data = self._data**exponent
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            self._accumulate(grad * exponent * self._data ** (exponent - 1))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="pow")
 
     # ------------------------------------------------------------------
     # Matrix multiplication
     # ------------------------------------------------------------------
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
-        out_data = self.data @ other.data
+        out_data = self._data @ other._data
 
         def backward(grad: np.ndarray) -> None:
-            a, b = self.data, other.data
+            a, b = self._data, other._data
             if a.ndim == 1 and b.ndim == 1:
                 self._accumulate(grad * b)
                 other._accumulate(grad * a)
@@ -264,96 +368,96 @@ class Tensor:
             self._accumulate(_unbroadcast(ga, a.shape))
             other._accumulate(_unbroadcast(gb, b.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, op="matmul")
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        out_data = self._data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
             g = grad
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis=axis)
-            self._accumulate(np.broadcast_to(g, self.data.shape).copy())
+            self._accumulate(np.broadcast_to(g, self._data.shape).copy())
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="sum")
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
-            count = self.data.size
+            count = self._data.size
         else:
             axes = axis if isinstance(axis, tuple) else (axis,)
-            count = int(np.prod([self.data.shape[a] for a in axes]))
+            count = int(np.prod([self._data.shape[a] for a in axes]))
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis: int, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out_data = self._data.max(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
             g = grad if keepdims else np.expand_dims(grad, axis=axis)
             expanded = out_data if keepdims else np.expand_dims(out_data, axis=axis)
-            mask = (self.data == expanded).astype(np.float64)
+            mask = (self._data == expanded).astype(np.float64)
             # Split gradient evenly among ties to keep the op well-defined.
             mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
             self._accumulate(mask * g)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="max")
 
     # ------------------------------------------------------------------
     # Elementwise nonlinearities
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
+        out_data = np.exp(self._data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="exp")
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
+        out_data = np.log(self._data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / self.data)
+            self._accumulate(grad / self._data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="log")
 
     def sigmoid(self) -> "Tensor":
-        out_data = 0.5 * (1.0 + np.tanh(0.5 * self.data))  # numerically stable
+        out_data = 0.5 * (1.0 + np.tanh(0.5 * self._data))  # numerically stable
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data * (1.0 - out_data))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="sigmoid")
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
+        out_data = np.tanh(self._data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * (1.0 - out_data**2))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="tanh")
 
     def relu(self) -> "Tensor":
-        out_data = np.maximum(self.data, 0.0)
+        out_data = np.maximum(self._data, 0.0)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (self.data > 0.0))
+            self._accumulate(grad * (self._data > 0.0))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="relu")
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
-        out_data = np.where(self.data > 0.0, self.data, negative_slope * self.data)
+        out_data = np.where(self._data > 0.0, self._data, negative_slope * self._data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * np.where(self.data > 0.0, 1.0, negative_slope))
+            self._accumulate(grad * np.where(self._data > 0.0, 1.0, negative_slope))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="leaky_relu")
 
     def softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        shifted = self._data - self._data.max(axis=axis, keepdims=True)
         exp = np.exp(shifted)
         out_data = exp / exp.sum(axis=axis, keepdims=True)
 
@@ -361,10 +465,10 @@ class Tensor:
             dot = (grad * out_data).sum(axis=axis, keepdims=True)
             self._accumulate(out_data * (grad - dot))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="softmax")
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        shifted = self._data - self._data.max(axis=axis, keepdims=True)
         log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
         out_data = shifted - log_sum
         softmax = np.exp(out_data)
@@ -372,7 +476,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="log_softmax")
 
     # ------------------------------------------------------------------
     # Shape manipulation
@@ -380,56 +484,56 @@ class Tensor:
     def reshape(self, *shape: int) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        out_data = self.data.reshape(shape)
-        original = self.data.shape
+        out_data = self._data.reshape(shape)
+        original = self._data.shape
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.reshape(original))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="reshape")
 
     def transpose(self, axis1: int = -2, axis2: int = -1) -> "Tensor":
-        out_data = np.swapaxes(self.data, axis1, axis2)
+        out_data = np.swapaxes(self._data, axis1, axis2)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(np.swapaxes(grad, axis1, axis2))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="transpose")
 
     def __getitem__(self, key) -> "Tensor":
-        out_data = self.data[key]
+        out_data = self._data[key]
 
         def backward(grad: np.ndarray) -> None:
-            full = np.zeros_like(self.data)
+            full = np.zeros_like(self._data)
             np.add.at(full, key, grad)
             self._accumulate(full)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="getitem")
 
     def squeeze(self, axis: int) -> "Tensor":
-        out_data = np.squeeze(self.data, axis=axis)
+        out_data = np.squeeze(self._data, axis=axis)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(np.expand_dims(grad, axis=axis))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="squeeze")
 
     def unsqueeze(self, axis: int) -> "Tensor":
-        out_data = np.expand_dims(self.data, axis=axis)
+        out_data = np.expand_dims(self._data, axis=axis)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(np.squeeze(grad, axis=axis))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="unsqueeze")
 
     def broadcast_to(self, shape: Tuple[int, ...]) -> "Tensor":
-        out_data = np.broadcast_to(self.data, shape).copy()
-        original = self.data.shape
+        out_data = np.broadcast_to(self._data, shape).copy()
+        original = self._data.shape
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(_unbroadcast(grad, original))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="broadcast_to")
 
 
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -447,7 +551,7 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             index[axis] = slice(start, stop)
             tensor._accumulate(grad[tuple(index)])
 
-    return Tensor._make(out_data, tuple(tensors), backward)
+    return Tensor._make(out_data, tuple(tensors), backward, op="concat")
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -461,7 +565,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         for idx, tensor in enumerate(tensors):
             tensor._accumulate(np.take(grad, idx, axis=axis))
 
-    return Tensor._make(out_data, tuple(tensors), backward)
+    return Tensor._make(out_data, tuple(tensors), backward, op="stack")
 
 
 def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
@@ -481,7 +585,7 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
         np.add.at(full, indices.reshape(-1), grad.reshape(-1, weight.data.shape[-1]))
         weight._accumulate(full)
 
-    return Tensor._make(out_data, (weight,), backward)
+    return Tensor._make(out_data, (weight,), backward, op="embedding_lookup")
 
 
 def sparse_matmul(matrix, x: Tensor) -> Tensor:
@@ -495,7 +599,7 @@ def sparse_matmul(matrix, x: Tensor) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._accumulate(matrix.T @ grad)
 
-    return Tensor._make(np.asarray(out_data), (x,), backward)
+    return Tensor._make(np.asarray(out_data), (x,), backward, op="sparse_matmul")
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
@@ -507,4 +611,4 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
         a._accumulate(_unbroadcast(np.where(condition, grad, 0.0), a.data.shape))
         b._accumulate(_unbroadcast(np.where(condition, 0.0, grad), b.data.shape))
 
-    return Tensor._make(out_data, (a, b), backward)
+    return Tensor._make(out_data, (a, b), backward, op="where")

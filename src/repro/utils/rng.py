@@ -9,18 +9,21 @@ subcomponent via :func:`spawn_rng`.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Sequence, Union
 
 import numpy as np
 
-SeedLike = Union[None, int, np.random.Generator]
+SeedLike = Union[None, int, Sequence[int], np.random.Generator]
 
 
 def as_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
     Passing an existing generator returns it unchanged, which lets callers
-    thread one generator through a pipeline of components.
+    thread one generator through a pipeline of components.  A sequence of
+    ints is forwarded as a numpy entropy key, so call sites can derive
+    independent streams from ``(seed, index)`` pairs without ad-hoc seed
+    arithmetic.
     """
     if isinstance(seed, np.random.Generator):
         return seed

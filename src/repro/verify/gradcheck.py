@@ -406,7 +406,7 @@ def run_gradcheck_suite(
         selected = [case for case in selected if case.name in wanted]
     reports = []
     for index, case in enumerate(selected):
-        rng = np.random.default_rng((seed, index))
+        rng = as_rng((seed, index))
         try:
             func, tensors, tensor_names = case.build(rng)
             report = check_gradients_report(
@@ -446,7 +446,18 @@ _DUNDER_OPS = {
 _NON_DIFF_METHODS = {"numpy", "item", "detach", "zero_grad", "backward"}
 
 #: ``repro.nn.__all__`` entries that are not differentiable-op targets.
-_NON_DIFF_EXPORTS = {"Tensor", "init", "make_aggregator"}
+_NON_DIFF_EXPORTS = {
+    "Tensor",
+    "init",
+    "make_aggregator",
+    # Sanitizer control surface (repro.nn.sanitizer) — no gradients involved.
+    "sanitize",
+    "set_sanitizer",
+    "sanitizer_enabled",
+    "detect_anomaly",
+    "set_detect_anomaly",
+    "anomaly_enabled",
+}
 
 #: Core-package targets the registry must also cover.
 CORE_TARGETS = (

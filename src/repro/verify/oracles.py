@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.utils.rng import spawn_rng
+from repro.utils.rng import as_rng, spawn_rng
 
 __all__ = [
     "OracleResult",
@@ -121,7 +121,7 @@ def sampling_oracles(dataset=None, seed: int = 0) -> List[OracleResult]:
     if dataset is None:
         dataset = _default_graph(seed)
     graph = dataset.graph
-    rng = np.random.default_rng(seed)
+    rng = as_rng(seed)
     results: List[OracleResult] = []
     starts = rng.choice(graph.num_nodes, size=12, replace=False)
 
@@ -330,7 +330,7 @@ def metric_oracles(seed: int = 0, draws: int = 5) -> List[OracleResult]:
     """eval.metrics vs brute-force reimplementations on random instances."""
     from repro.eval import metrics
 
-    rng = np.random.default_rng(seed)
+    rng = as_rng(seed)
     results: List[OracleResult] = []
 
     diffs = {"roc_auc": 0.0, "pr_auc": 0.0, "best_f1": 0.0, "f1_at_threshold": 0.0}
@@ -446,7 +446,7 @@ def model_oracles(seed: int = 0) -> List[OracleResult]:
     from repro.nn.layers import Embedding, LayerNorm, Linear
     from repro.nn.tensor import Tensor
 
-    rng = np.random.default_rng(seed)
+    rng = as_rng(seed)
     results: List[OracleResult] = []
 
     # --- elementwise nonlinearities vs scipy
@@ -605,7 +605,7 @@ def serving_oracles(dataset=None, seed: int = 0) -> List[OracleResult]:
     if dataset is None:
         dataset = _default_graph(seed)
     graph = dataset.graph
-    rng = np.random.default_rng(seed)
+    rng = as_rng(seed)
     relation = graph.schema.relationships[0]
 
     tables = {

@@ -1,0 +1,84 @@
+"""CLI tests for ``python -m repro lint``, including the strict meta-test."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+DIRTY = "import numpy as np\n\ndef f():\n    return np.random.rand()\n"
+CLEAN = "def f(rng):\n    return rng.random()\n"
+
+
+def test_lint_clean_file_exits_zero(tmp_path, capsys):
+    target = tmp_path / "clean.py"
+    target.write_text(CLEAN)
+    assert main(["lint", str(target), "--baseline", str(tmp_path / "b.json")]) == 0
+    out = capsys.readouterr().out
+    assert "1 files, 0 finding(s)" in out
+
+
+def test_lint_dirty_file_exits_one_with_hint(tmp_path, capsys):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    assert main(["lint", str(target), "--baseline", str(tmp_path / "b.json")]) == 1
+    out = capsys.readouterr().out
+    assert "R001" in out
+    assert "hint:" in out
+
+
+def test_lint_json_format(tmp_path, capsys):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    code = main([
+        "lint", str(target), "--format", "json",
+        "--baseline", str(tmp_path / "b.json"),
+    ])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["passed"] is False
+    assert payload["findings"][0]["code"] == "R001"
+    assert payload["findings"][0]["hint"]
+
+
+def test_lint_strict_fails_on_stale_baseline(tmp_path, capsys):
+    target = tmp_path / "clean.py"
+    target.write_text(CLEAN)
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"entries": [
+        {"code": "R001", "path": "gone.py", "message": "paid off",
+         "reason": "stale"},
+    ]}))
+    # Non-strict: stale entries are reported but do not fail the run.
+    assert main(["lint", str(target), "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    # Strict: stale debt must be deleted from the baseline.
+    assert main(["lint", str(target), "--baseline", str(baseline),
+                 "--strict"]) == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_lint_baseline_silences_known_debt(tmp_path, capsys):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    probe_code = main([
+        "lint", str(target), "--format", "json",
+        "--baseline", str(tmp_path / "none.json"),
+    ])
+    assert probe_code == 1
+    finding = json.loads(capsys.readouterr().out)["findings"][0]
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"entries": [
+        {"code": finding["code"], "path": finding["path"],
+         "message": finding["message"], "reason": "grandfathered"},
+    ]}))
+    assert main(["lint", str(target), "--baseline", str(baseline),
+                 "--strict"]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_meta_repro_package_is_strict_clean(capsys):
+    """Acceptance: `python -m repro lint --strict` exits 0 on this tree."""
+    assert main(["lint", "--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out

@@ -1,0 +1,114 @@
+"""Engine-level tests: walking, suppression accounting, baselines, formats."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import (
+    BaselineEntry,
+    Finding,
+    default_baseline_path,
+    format_json,
+    format_text,
+    lint_source,
+    load_baseline,
+    run_lint,
+)
+from repro.lint.engine import PARSE_ERROR_CODE
+
+DIRTY = "import numpy as np\n\ndef f():\n    return np.random.rand()\n"
+CLEAN = "def f(rng):\n    return rng.random()\n"
+
+
+def write_tree(tmp_path):
+    (tmp_path / "sampling").mkdir()
+    (tmp_path / "sampling" / "dirty.py").write_text(DIRTY)
+    (tmp_path / "clean.py").write_text(CLEAN)
+    return tmp_path
+
+
+def test_syntax_error_becomes_e001_finding():
+    found, suppressed = lint_source("def broken(:\n    pass\n", "x.py")
+    assert suppressed == 0
+    assert [f.code for f in found] == [PARSE_ERROR_CODE]
+    assert "could not parse" in found[0].message
+
+
+def test_finding_key_ignores_line_numbers():
+    a = Finding(code="R001", path="p.py", line=3, col=0, message="m")
+    b = Finding(code="R001", path="p.py", line=99, col=4, message="m")
+    assert a.key == b.key
+
+
+def test_run_lint_walks_directories_and_reports_relative_paths(tmp_path):
+    root = write_tree(tmp_path)
+    report = run_lint(root=root, baseline_path=tmp_path / "none.json")
+    assert report.files_checked == 2
+    assert not report.passed
+    assert [f.path for f in report.findings] == ["sampling/dirty.py"]
+    assert report.findings[0].code == "R001"
+
+
+def test_run_lint_skips_pycache(tmp_path):
+    root = write_tree(tmp_path)
+    cache = root / "__pycache__"
+    cache.mkdir()
+    (cache / "dirty.py").write_text(DIRTY)
+    report = run_lint(root=root, baseline_path=tmp_path / "none.json")
+    assert report.files_checked == 2
+
+
+def test_baseline_absorbs_and_detects_stale(tmp_path):
+    root = write_tree(tmp_path)
+    probe = run_lint(root=root, baseline_path=tmp_path / "none.json")
+    entry = probe.findings[0]
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"entries": [
+        {"code": entry.code, "path": entry.path, "message": entry.message,
+         "reason": "grandfathered"},
+        {"code": "R005", "path": "gone.py", "message": "fixed long ago",
+         "reason": "stale"},
+    ]}))
+    report = run_lint(root=root, baseline_path=baseline)
+    assert report.passed  # the real finding is baselined ...
+    assert len(report.baselined) == 1
+    assert not report.strict_passed  # ... but the stale entry fails --strict
+    assert report.stale_baseline[0]["path"] == "gone.py"
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "does-not-exist.json") == []
+
+
+def test_committed_baseline_loads_and_is_small():
+    """Acceptance: the committed baseline stays within budget (<= 10)."""
+    path = default_baseline_path()
+    assert path.exists()
+    entries = load_baseline(path)
+    assert len(entries) <= 10
+    assert all(isinstance(e, BaselineEntry) for e in entries)
+
+
+def test_format_text_and_json_round_trip(tmp_path):
+    root = write_tree(tmp_path)
+    report = run_lint(root=root, baseline_path=tmp_path / "none.json")
+    text = format_text(report)
+    assert "sampling/dirty.py:4:" in text
+    assert "hint:" in text
+    assert "repro lint: 2 files, 1 finding(s)" in text
+    payload = json.loads(format_json(report))
+    assert payload["files_checked"] == 2
+    assert payload["passed"] is False
+    assert payload["findings"][0]["code"] == "R001"
+    assert payload["strict_passed"] is False
+
+
+def test_suppression_is_counted_not_silent(tmp_path):
+    root = tmp_path
+    (root / "mod.py").write_text(
+        "import numpy as np\n\ndef f():\n"
+        "    return np.random.rand()  # repro-lint: disable=R001\n"
+    )
+    report = run_lint(root=root, baseline_path=tmp_path / "none.json")
+    assert report.passed
+    assert report.suppressed == 1

@@ -1,0 +1,220 @@
+"""Runtime autograd sanitizer: version counter, mutation tracking, anomalies.
+
+Covers the contract documented in DESIGN.md ("Tensor version-counter
+contract"): the sanctioned write path bumps ``Tensor.version``; with the
+sanitizer enabled, mutating a tensor saved by a forward pass makes the
+subsequent ``backward()`` raise :class:`~repro.errors.SanitizerError`
+naming the op, instead of silently mis-computing gradients through stale
+``_backward`` closures.  ``detect_anomaly()`` pins NaN/Inf to the creating
+op.  Both are off by default and must add no per-op state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AnomalyError, ReproError, SanitizerError
+from repro.nn import (
+    Tensor,
+    anomaly_enabled,
+    detect_anomaly,
+    sanitize,
+    sanitizer_enabled,
+    set_detect_anomaly,
+    set_sanitizer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _sanitizers_off_after():
+    yield
+    set_sanitizer(False)
+    set_detect_anomaly(False)
+
+
+class TestVersionCounter:
+    def test_fresh_tensor_starts_at_zero(self):
+        assert Tensor([1.0, 2.0]).version == 0
+
+    def test_data_assignment_bumps_version(self):
+        t = Tensor([1.0, 2.0])
+        t.data = np.array([3.0, 4.0])
+        assert t.version == 1
+        t.data = t.data * 2
+        assert t.version == 2
+
+    def test_augmented_assignment_bumps_version(self):
+        """``param.data -= update`` (the optimizer idiom) re-assigns the
+        attribute, so it goes through the version-counted write path."""
+        t = Tensor([1.0, 2.0])
+        t.data -= 0.5
+        assert t.version == 1
+        np.testing.assert_allclose(t.data, [0.5, 1.5])
+
+    def test_op_outputs_record_creating_op(self):
+        x = Tensor([1.0], requires_grad=True)
+        assert (x.exp()).op == "exp"
+        assert (x + x).op == "add"
+        assert x.op is None
+
+
+class TestOffByDefault:
+    def test_flags_default_off(self):
+        assert not sanitizer_enabled()
+        assert not anomaly_enabled()
+
+    def test_no_per_op_state_when_disabled(self):
+        """Zero-overhead claim: disabled runs save no version tuples."""
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = (x.exp() * x).sum()
+        assert y._saved_versions is None
+        assert all(p._saved_versions is None for p in y._parents)
+
+    def test_mutation_goes_unnoticed_when_disabled(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x.exp().sum()
+        x.data = np.array([5.0, 6.0])
+        y.backward()  # no raise: tracking is opt-in
+        assert x.grad is not None
+
+    def test_nan_goes_unnoticed_when_disabled(self):
+        with np.errstate(divide="ignore"):
+            out = Tensor([1.0], requires_grad=True) / Tensor([0.0])
+        assert np.isinf(out.data).all()
+
+
+class TestMutationTracking:
+    def test_mutated_input_raises_naming_op_and_input(self):
+        """Satellite regression: mutating an input between forward and
+        backward raises instead of silently mis-computing gradients."""
+        with sanitize():
+            x = Tensor([1.0, 2.0], requires_grad=True, name="x")
+            y = x.exp()
+            loss = y.sum()
+            x.data = np.array([9.0, 9.0])
+            with pytest.raises(SanitizerError, match=r"op 'exp'") as excinfo:
+                loss.backward()
+        message = str(excinfo.value)
+        assert "input 0" in message
+        assert "'x'" in message
+        assert "version 1, expected 0" in message
+
+    def test_mutated_nongrad_operand_is_caught_too(self):
+        """Operands with requires_grad=False still feed backward closures
+        (e.g. ``mul`` reads ``other.data`` lazily)."""
+        with sanitize():
+            w = Tensor([2.0, 3.0], requires_grad=True)
+            c = Tensor([4.0, 5.0], name="const")
+            loss = (w * c).sum()
+            c.data = np.array([0.0, 0.0])
+            with pytest.raises(SanitizerError, match=r"op 'mul'"):
+                loss.backward()
+
+    def test_mutated_intermediate_is_caught_at_its_consumer(self):
+        """The first op whose saved tensors drifted reports it: ``sum``
+        consumed ``y``, so mutating ``y`` is caught as sum's input 0."""
+        with sanitize():
+            x = Tensor([1.0, 2.0], requires_grad=True)
+            y = x.exp()  # exp's backward uses the saved output
+            loss = y.sum()
+            y.data = np.array([0.0, 0.0])
+            with pytest.raises(SanitizerError, match=r"op 'sum'") as excinfo:
+                loss.backward()
+        assert "input 0" in str(excinfo.value)
+
+    def test_mutated_final_output_is_caught_as_output(self):
+        with sanitize():
+            x = Tensor([1.0, 2.0], requires_grad=True)
+            loss = x.exp().sum()
+            loss.data = np.array(0.0)
+            with pytest.raises(SanitizerError, match=r"output"):
+                loss.backward()
+
+    def test_sanitizer_error_is_a_repro_error(self):
+        assert issubclass(SanitizerError, ReproError)
+        assert issubclass(AnomalyError, SanitizerError)
+
+    def test_clean_graph_passes_and_matches_untracked_gradients(self):
+        """The sanitizer never alters numerics: gradients are bit-identical
+        with tracking on and off."""
+        def run():
+            x = Tensor([[1.0, -2.0], [0.5, 3.0]], requires_grad=True)
+            w = Tensor([[0.1, 0.2], [0.3, 0.4]], requires_grad=True)
+            loss = ((x @ w).tanh() * x).sum()
+            loss.backward()
+            return x.grad.copy(), w.grad.copy()
+
+        gx_off, gw_off = run()
+        with sanitize():
+            gx_on, gw_on = run()
+        assert np.array_equal(gx_off, gx_on)
+        assert np.array_equal(gw_off, gw_on)
+
+    def test_mutation_after_backward_is_fine(self):
+        with sanitize():
+            x = Tensor([1.0, 2.0], requires_grad=True)
+            loss = x.exp().sum()
+            loss.backward()
+            x.data = np.array([7.0, 8.0])  # graph already consumed
+        assert x.version == 1
+
+    def test_context_manager_restores_previous_state(self):
+        assert not sanitizer_enabled()
+        with sanitize():
+            assert sanitizer_enabled()
+            with sanitize():
+                assert sanitizer_enabled()
+            assert sanitizer_enabled()
+        assert not sanitizer_enabled()
+        previous = set_sanitizer(True)
+        assert previous is False
+        assert set_sanitizer(False) is True
+
+
+class TestDetectAnomaly:
+    def test_forward_nan_names_creating_op_and_parent_shapes(self):
+        with detect_anomaly():
+            a = Tensor([1.0, 2.0], requires_grad=True)
+            b = Tensor([0.0, 1.0])
+            with np.errstate(divide="ignore"):
+                with pytest.raises(AnomalyError) as excinfo:
+                    _ = a / b
+        message = str(excinfo.value)
+        assert "op 'truediv'" in message
+        assert "1 non-finite value(s)" in message
+        assert "parent shapes: (2,), (2,)" in message
+
+    def test_backward_nonfinite_gradient_names_op_and_input(self):
+        x = Tensor([0.0, 4.0], requires_grad=True, name="x")
+        loss = (x ** 0.5).sum()  # d/dx sqrt at 0 is +inf
+        with detect_anomaly():
+            with np.errstate(divide="ignore"):
+                with pytest.raises(AnomalyError) as excinfo:
+                    loss.backward()
+        message = str(excinfo.value)
+        assert "backward of op 'pow'" in message
+        assert "input 0 'x'" in message
+        assert "(2,)" in message
+
+    def test_nonfinite_seed_gradient_is_rejected(self):
+        y = Tensor([1.0, 2.0], requires_grad=True).exp()
+        with detect_anomaly():
+            with pytest.raises(AnomalyError, match="seeded"):
+                y.backward(np.array([np.nan, 1.0]))
+
+    def test_finite_computation_is_untouched(self):
+        with detect_anomaly():
+            x = Tensor([1.0, 2.0], requires_grad=True)
+            loss = (x.sigmoid() * 3.0).sum()
+            loss.backward()
+        np.testing.assert_allclose(
+            x.grad, 3.0 * (1.0 / (1.0 + np.exp(-x.data)))
+            * (1.0 - 1.0 / (1.0 + np.exp(-x.data)))
+        )
+
+    def test_context_manager_restores_previous_state(self):
+        assert not anomaly_enabled()
+        with detect_anomaly():
+            assert anomaly_enabled()
+        assert not anomaly_enabled()
