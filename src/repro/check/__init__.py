@@ -1,0 +1,81 @@
+"""Graph-level static analysis: ``python -m repro check-model``.
+
+The static mirror of the runtime sanitizer: the model's op DAG is recorded
+once (one traced forward + loss, :mod:`repro.check.trace`), then re-executed
+*abstractly* — no numerics — through per-op shape/dtype transfer rules over
+a symbolic :class:`~repro.check.spec.ShapeSpec` lattice
+(:mod:`repro.check.transfer`).  A graph auditor (:mod:`repro.check.audit`)
+walks the same DAG for gradient-flow defects: parameters unreachable from
+the loss, dead subgraphs, suspicious broadcasts, dtype promotions, and
+memory estimates.
+
+Layering: ``spec`` (lattice) ← ``trace`` (recording) ← ``transfer``
+(abstract interpretation) ← ``audit`` (defect detection) ← ``runner``
+(model/dataset entry points) with ``report`` shared by all.  The
+``crosscheck`` module validates every transfer rule against concrete
+forward shapes via the gradcheck registry (``repro verify --suite
+transfer``); ``state`` applies the same spec rendering to checkpoint and
+serving-table loads.
+"""
+
+from repro.check.audit import audit_graph
+from repro.check.report import (
+    CHECK_SCHEMA_VERSION,
+    CheckFinding,
+    CheckReport,
+    format_json,
+    format_text,
+)
+from repro.check.runner import CHECKABLE_MODELS, check_model
+from repro.check.selftest import build_miswired_report, build_stock_report, run_self_test
+from repro.check.spec import BroadcastEvent, Dim, ShapeSpec, TensorSpec
+from repro.check.state import (
+    state_dict_findings,
+    table_findings,
+    verify_state_dict,
+    verify_table,
+)
+from repro.check.trace import TraceNode, Tracer, trace
+from repro.check.transfer import (
+    propagate,
+    required_transfer_ops,
+    transfer_rule,
+    uncovered_transfer_rules,
+)
+from repro.check.crosscheck import (
+    TransferCheck,
+    format_transfer_table,
+    run_transfer_suite,
+)
+
+__all__ = [
+    "CHECK_SCHEMA_VERSION",
+    "CHECKABLE_MODELS",
+    "BroadcastEvent",
+    "CheckFinding",
+    "CheckReport",
+    "Dim",
+    "ShapeSpec",
+    "TensorSpec",
+    "TraceNode",
+    "Tracer",
+    "TransferCheck",
+    "audit_graph",
+    "build_miswired_report",
+    "build_stock_report",
+    "check_model",
+    "format_json",
+    "format_text",
+    "format_transfer_table",
+    "propagate",
+    "required_transfer_ops",
+    "run_self_test",
+    "run_transfer_suite",
+    "state_dict_findings",
+    "table_findings",
+    "trace",
+    "transfer_rule",
+    "uncovered_transfer_rules",
+    "verify_state_dict",
+    "verify_table",
+]

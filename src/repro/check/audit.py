@@ -1,0 +1,226 @@
+"""Graph auditor: defect detection over a recorded op DAG.
+
+Runs abstract propagation (:mod:`repro.check.transfer`) over the trace
+and then walks the DAG itself:
+
+* **Gradient reachability** — a parameter participates in training iff it
+  is an ancestor of the loss through parent edges.  ``detach()`` breaks
+  the chain naturally (the detached tensor appears as a fresh leaf), so a
+  detached attention head shows up as its parameters being unreachable.
+* **Dead subgraphs** — op results computed but never consumed on any path
+  to the loss; reported at their sink nodes.
+* **Broadcast hazards** — stretch/rank-expansion events flagged by the
+  spec lattice (only those involving a symbolic dim are hazardous).
+* **Dtype promotions** — an op whose output dtype differs from one of its
+  tensor inputs.
+* **Memory estimates** — parameter bytes and per-op activation bytes from
+  the abstract specs.
+
+Models may declare *structural* exemptions (parameters that are unused by
+design for a given configuration) via an ``audit_exemptions()`` method
+returning ``{glob_pattern: reason}``; matching unreachable parameters are
+downgraded to ``info``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from fnmatch import fnmatchcase
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from repro.check.report import CheckFinding, CheckReport
+from repro.check.trace import TraceNode, Tracer
+from repro.check.transfer import propagate
+
+__all__ = ["audit_graph"]
+
+_TOP_K = 8
+
+
+def _ancestors_of(nodes: Sequence[TraceNode], root: int) -> Set[int]:
+    seen = {root}
+    queue = deque([root])
+    while queue:
+        for parent in nodes[queue.popleft()].parents:
+            if parent not in seen:
+                seen.add(parent)
+                queue.append(parent)
+    return seen
+
+
+def _exemption_for(name: str, exemptions: Mapping[str, str]) -> Optional[str]:
+    for pattern, reason in exemptions.items():
+        if fnmatchcase(name, pattern):
+            return reason
+    return None
+
+
+def audit_graph(
+    tracer: Tracer,
+    root: int,
+    symbols: Optional[Mapping[int, str]] = None,
+    exemptions: Optional[Mapping[str, str]] = None,
+    model: str = "",
+    dataset: str = "",
+) -> CheckReport:
+    """Audit a recorded trace rooted at the loss node ``root``."""
+    nodes = tracer.nodes
+    exemptions = dict(exemptions or {})
+    symbols = dict(symbols or {})
+    prop = propagate(nodes, symbols)
+    findings: List[CheckFinding] = []
+
+    for problem in prop.problems:
+        findings.append(
+            CheckFinding(
+                code="C001" if problem.kind == "missing_rule" else "C002",
+                severity="error",
+                message=problem.message,
+                op=problem.op,
+                node=problem.node,
+            )
+        )
+
+    for index, event in prop.events:
+        if not event.hazardous:
+            continue
+        node = nodes[index]
+        findings.append(
+            CheckFinding(
+                code="C003",
+                severity="warning",
+                message=(
+                    f"suspicious broadcast at op {node.op!r} (node {index}): "
+                    f"{event.detail}; result {prop.spec_of(index).render()}"
+                ),
+                op=node.op or "",
+                node=index,
+            )
+        )
+
+    for node in nodes:
+        if node.op is None or not node.parents:
+            continue
+        out_dtype = prop.spec_of(node.index).dtype
+        in_dtypes = {prop.spec_of(p).dtype for p in node.parents}
+        if in_dtypes and out_dtype not in in_dtypes:
+            findings.append(
+                CheckFinding(
+                    code="C004",
+                    severity="warning",
+                    message=(
+                        f"dtype promotion at op {node.op!r} (node {node.index}): "
+                        f"inputs {sorted(in_dtypes)} -> output {out_dtype}"
+                    ),
+                    op=node.op,
+                    node=node.index,
+                )
+            )
+
+    ancestors = _ancestors_of(nodes, root)
+
+    params = tracer.parameter_nodes()
+    for param in params:
+        if param.index in ancestors:
+            continue
+        reason = _exemption_for(param.name, exemptions)
+        spec = prop.spec_of(param.index)
+        if reason is not None:
+            findings.append(
+                CheckFinding(
+                    code="C005",
+                    severity="info",
+                    message=(
+                        f"parameter {param.name!r} {spec.render()} has no gradient "
+                        f"path to the loss (exempt: {reason})"
+                    ),
+                    param=param.name,
+                    node=param.index,
+                )
+            )
+        else:
+            findings.append(
+                CheckFinding(
+                    code="C005",
+                    severity="warning",
+                    message=(
+                        f"parameter {param.name!r} {spec.render()} is unreachable "
+                        "from the loss: no gradient path (detached or unused)"
+                    ),
+                    param=param.name,
+                    node=param.index,
+                )
+            )
+
+    # Dead subgraphs: op nodes off every path to the loss, reported at
+    # their sinks (nodes with no consumers) to keep the report compact.
+    consumers: Dict[int, int] = {}
+    for node in nodes:
+        if node.op is None:
+            continue
+        for parent in node.parents:
+            consumers[parent] = consumers.get(parent, 0) + 1
+    dead = [n for n in nodes if n.op is not None and n.index not in ancestors]
+    dead_set = {n.index for n in dead}
+    sinks = [n for n in dead if consumers.get(n.index, 0) == 0]
+    if dead:
+        # The sink's ancestry that is itself dead = the dead subgraph size.
+        for sink in sinks:
+            region = _ancestors_of(nodes, sink.index) & dead_set
+            findings.append(
+                CheckFinding(
+                    code="C006",
+                    severity="warning",
+                    message=(
+                        f"dead subgraph: {len(region)} op(s) ending at "
+                        f"{sink.op!r} (node {sink.index}) "
+                        f"{prop.spec_of(sink.index).render()} never reach the loss"
+                    ),
+                    op=sink.op or "",
+                    node=sink.index,
+                )
+            )
+
+    op_nodes = tracer.op_nodes()
+    activation_bytes = sum(prop.spec_of(n.index).nbytes() for n in op_nodes)
+    parameter_bytes = sum(prop.spec_of(p.index).nbytes() for p in params)
+    parameter_scalars = sum(prop.spec_of(p.index).shape.size() for p in params)
+
+    def _entry(node: TraceNode) -> Dict[str, object]:
+        return {
+            "label": node.label(),
+            "spec": prop.spec_of(node.index).render(),
+            "bytes": prop.spec_of(node.index).nbytes(),
+        }
+
+    top_activations = [
+        _entry(n)
+        for n in sorted(op_nodes, key=lambda n: -prop.spec_of(n.index).nbytes())[:_TOP_K]
+    ]
+    top_parameters = [
+        _entry(p)
+        for p in sorted(params, key=lambda p: -prop.spec_of(p.index).nbytes())[:_TOP_K]
+    ]
+
+    batch_symbol = node_symbol = None
+    for value, name in symbols.items():
+        if name == "B":
+            batch_symbol = value
+        elif name == "N":
+            node_symbol = value
+
+    return CheckReport(
+        model=model,
+        dataset=dataset,
+        batch_symbol=batch_symbol,
+        node_symbol=node_symbol,
+        num_ops=len(op_nodes),
+        num_tensors=len(nodes),
+        num_parameters=len(params),
+        parameter_scalars=parameter_scalars,
+        parameter_bytes=parameter_bytes,
+        activation_bytes=activation_bytes,
+        top_activations=top_activations,
+        top_parameters=top_parameters,
+        findings=findings,
+    )

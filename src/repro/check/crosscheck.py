@@ -1,0 +1,101 @@
+"""Transfer rules cross-checked against concrete forward shapes.
+
+Runs every gradcheck registry case (``repro.verify.gradcheck``) under the
+op tracer and re-propagates the recorded graph abstractly: for every op
+the transfer rule's shape/dtype must equal what the concrete forward
+produced, and no required op may lack a rule.  This is the ``transfer``
+suite of ``repro verify`` — the static checker's own differential oracle,
+anchored to the same case builders that gradcheck trusts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.check.trace import trace
+from repro.check.transfer import propagate, uncovered_transfer_rules
+from repro.utils.rng import as_rng
+
+__all__ = ["TransferCheck", "format_transfer_table", "run_transfer_suite"]
+
+
+@dataclass
+class TransferCheck:
+    """Outcome of abstractly re-propagating one gradcheck case's trace."""
+
+    name: str
+    num_ops: int
+    passed: bool
+    messages: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "num_ops": self.num_ops,
+            "passed": self.passed,
+            "messages": list(self.messages),
+        }
+
+
+def run_transfer_suite(seed: int = 0) -> List[TransferCheck]:
+    """Abstract-vs-concrete agreement over every registered gradcheck case."""
+    from repro.verify.gradcheck import gradcheck_cases
+
+    checks: List[TransferCheck] = []
+
+    uncovered = uncovered_transfer_rules()
+    checks.append(
+        TransferCheck(
+            name="transfer.coverage",
+            num_ops=0,
+            passed=not uncovered,
+            messages=(
+                [f"ops with no transfer rule: {uncovered}"] if uncovered else []
+            ),
+        )
+    )
+
+    for i, case in enumerate(gradcheck_cases()):
+        rng = as_rng((seed, i))
+        try:
+            func, _tensors, _names = case.build(rng)
+            with trace() as tracer:
+                func()
+            result = propagate(tracer.nodes)
+            messages = [p.message for p in result.problems]
+            checks.append(
+                TransferCheck(
+                    name=f"transfer.{case.name}",
+                    num_ops=len(tracer.op_nodes()),
+                    passed=not messages,
+                    messages=messages,
+                )
+            )
+        except Exception as exc:  # pragma: no cover - defensive, mirrors gradcheck
+            checks.append(
+                TransferCheck(
+                    name=f"transfer.{case.name}",
+                    num_ops=0,
+                    passed=False,
+                    messages=[f"case raised {type(exc).__name__}: {exc}"],
+                )
+            )
+    return checks
+
+
+def format_transfer_table(checks: List[TransferCheck]) -> str:
+    lines = ["transfer-rule crosscheck (abstract vs concrete shapes)"]
+    width = max(len(c.name) for c in checks) if checks else 10
+    for check in checks:
+        status = "ok" if check.passed else "FAIL"
+        lines.append(f"  {check.name:<{width}}  {check.num_ops:>5} ops  {status}")
+        for message in check.messages:
+            lines.append(f"      {message}")
+    failed = sum(1 for c in checks if not c.passed)
+    lines.append(
+        f"  {len(checks)} checks, {failed} failed"
+        if failed
+        else f"  {len(checks)} checks, all passed"
+    )
+    return "\n".join(lines)

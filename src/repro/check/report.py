@@ -1,0 +1,188 @@
+"""Finding/report model for ``repro check-model``.
+
+Finding codes (stable, machine-readable — the graph-level analogue of the
+linter's R-codes):
+
+=====  ========  ==========================================================
+Code   Severity  Meaning
+=====  ========  ==========================================================
+C001   error     differentiable op with no shape/dtype transfer rule
+C002   error     abstract propagation disagrees with the observed trace
+C003   warning   suspicious broadcast (stretch across a symbolic dim, or
+                 rank expansion of a symbolic operand)
+C004   warning   dtype promotion (op output dtype differs from an input)
+C005   warning   parameter unreachable from the loss (no gradient path);
+                 reported as info when exempted by the model
+C006   warning   dead subgraph (op results that never reach the loss)
+C007   error     state/checkpoint mismatch against the model's parameters
+=====  ========  ==========================================================
+
+``--strict`` escalates warnings to failures; ``info`` findings never
+fail.  The JSON payload carries ``schema_version`` so CI artifact diffs
+stay meaningful across releases.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "CHECK_SCHEMA_VERSION",
+    "CheckFinding",
+    "CheckReport",
+    "format_json",
+    "format_text",
+]
+
+CHECK_SCHEMA_VERSION = 1
+
+SEVERITIES = ("error", "warning", "info")
+
+_SEVERITY_ORDER = {severity: i for i, severity in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class CheckFinding:
+    """One graph-level defect, anchored to an op node and/or parameter."""
+
+    code: str
+    severity: str
+    message: str
+    op: str = ""
+    node: int = -1
+    param: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.op:
+            payload["op"] = self.op
+        if self.node >= 0:
+            payload["node"] = self.node
+        if self.param:
+            payload["param"] = self.param
+        return payload
+
+    def sort_key(self):
+        return (_SEVERITY_ORDER.get(self.severity, len(SEVERITIES)), self.code, self.node, self.param, self.message)
+
+
+@dataclass
+class CheckReport:
+    """Result of checking one (model, dataset-alike config) pair."""
+
+    model: str
+    dataset: str = ""
+    batch_symbol: Optional[int] = None
+    node_symbol: Optional[int] = None
+    num_ops: int = 0
+    num_tensors: int = 0
+    num_parameters: int = 0
+    parameter_scalars: int = 0
+    parameter_bytes: int = 0
+    activation_bytes: int = 0
+    top_activations: List[Dict[str, Any]] = field(default_factory=list)
+    top_parameters: List[Dict[str, Any]] = field(default_factory=list)
+    findings: List[CheckFinding] = field(default_factory=list)
+
+    def errors(self) -> List[CheckFinding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    def warnings(self) -> List[CheckFinding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def passed(self, strict: bool = False) -> bool:
+        if self.errors():
+            return False
+        if strict and self.warnings():
+            return False
+        return True
+
+    def sorted_findings(self) -> List[CheckFinding]:
+        return sorted(self.findings, key=lambda f: f.sort_key())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": CHECK_SCHEMA_VERSION,
+            "model": self.model,
+            "dataset": self.dataset,
+            "symbols": {"B": self.batch_symbol, "N": self.node_symbol},
+            "graph": {
+                "num_ops": self.num_ops,
+                "num_tensors": self.num_tensors,
+                "num_parameters": self.num_parameters,
+            },
+            "memory": {
+                "parameter_scalars": self.parameter_scalars,
+                "parameter_bytes": self.parameter_bytes,
+                "activation_bytes": self.activation_bytes,
+                "top_activations": list(self.top_activations),
+                "top_parameters": list(self.top_parameters),
+            },
+            "counts": {
+                "error": len(self.errors()),
+                "warning": len(self.warnings()),
+                "info": len(self.findings) - len(self.errors()) - len(self.warnings()),
+            },
+            "findings": [f.to_dict() for f in self.sorted_findings()],
+        }
+
+
+def _human_bytes(count: int) -> str:
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024.0 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024.0
+    return f"{int(count)} B"
+
+
+def format_text(report: CheckReport, strict: bool = False) -> str:
+    """Human-readable rendering of one check report."""
+    lines: List[str] = []
+    title = report.model if not report.dataset else f"{report.model} on {report.dataset}"
+    lines.append(f"check-model: {title}")
+    lines.append(
+        f"  graph: {report.num_ops} ops over {report.num_tensors} tensors, "
+        f"{report.num_parameters} parameters"
+        + (f" (B={report.batch_symbol}, N={report.node_symbol})" if report.batch_symbol else "")
+    )
+    lines.append(
+        f"  memory: parameters {_human_bytes(report.parameter_bytes)} "
+        f"({report.parameter_scalars} scalars), "
+        f"activations {_human_bytes(report.activation_bytes)} per traced step"
+    )
+    for entry in report.top_activations[:5]:
+        lines.append(
+            f"    activation {entry['label']}: {entry['spec']} = {_human_bytes(entry['bytes'])}"
+        )
+    if not report.findings:
+        lines.append("  findings: none")
+    else:
+        lines.append(f"  findings: {len(report.findings)}")
+        for finding in report.sorted_findings():
+            anchor = ""
+            if finding.param:
+                anchor = f" [{finding.param}]"
+            elif finding.op:
+                anchor = f" [{finding.op}#{finding.node}]"
+            lines.append(f"    {finding.code} {finding.severity}{anchor}: {finding.message}")
+    verdict = "PASS" if report.passed(strict=strict) else "FAIL"
+    lines.append(f"  result: {verdict}" + (" (strict)" if strict else ""))
+    return "\n".join(lines)
+
+
+def format_json(reports: List[CheckReport], strict: bool = False) -> str:
+    """Stable JSON envelope over one or more check reports."""
+    payload = {
+        "schema_version": CHECK_SCHEMA_VERSION,
+        "strict": bool(strict),
+        "passed": all(r.passed(strict=strict) for r in reports),
+        "reports": [r.to_dict() for r in reports],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,243 @@
+"""Shape/dtype lattice for abstract interpretation of traced op graphs.
+
+A :class:`Dim` is a single dimension: always backed by the concrete value
+observed during the recording trace, optionally tagged with a symbol
+(``B`` for the batch axis, ``N`` for the node-table axis) when that value
+was introduced by a symbolic quantity.  A :class:`ShapeSpec` is a tuple of
+dims; a :class:`TensorSpec` adds the dtype and byte-size accounting used
+by the memory report.
+
+The lattice is deliberately shallow — concrete-with-symbols rather than a
+full interval domain — because the checker always has one observed trace
+to anchor against.  Symbols exist to make findings *generalisable*: a
+broadcast that stretches a ``1`` across ``B`` is a hazard for every batch
+size, while stretching across a concrete model width is an architectural
+constant and is left alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BroadcastEvent",
+    "Dim",
+    "ShapeSpec",
+    "SpecError",
+    "TensorSpec",
+    "broadcast_specs",
+    "promote_dtypes",
+]
+
+
+class SpecError(ValueError):
+    """An abstract shape computation is inconsistent with its inputs."""
+
+
+class Dim:
+    """One dimension: a concrete extent, optionally tagged with a symbol."""
+
+    __slots__ = ("value", "symbol")
+
+    def __init__(self, value: int, symbol: str = "") -> None:
+        self.value = int(value)
+        self.symbol = symbol
+
+    @property
+    def is_symbolic(self) -> bool:
+        return bool(self.symbol)
+
+    def render(self) -> str:
+        return self.symbol if self.symbol else str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dim):
+            return NotImplemented
+        return self.value == other.value and self.symbol == other.symbol
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.symbol))
+
+    def __repr__(self) -> str:
+        return f"Dim({self.render()})"
+
+
+class ShapeSpec:
+    """An ordered tuple of :class:`Dim`, printed like ``(B, 5, 16)``."""
+
+    __slots__ = ("dims",)
+
+    def __init__(self, dims: Sequence[Dim]) -> None:
+        self.dims: Tuple[Dim, ...] = tuple(dims)
+
+    @classmethod
+    def concrete(cls, shape: Sequence[int]) -> "ShapeSpec":
+        return cls(tuple(Dim(v) for v in shape))
+
+    @classmethod
+    def symbolized(cls, shape: Sequence[int], symbols: Mapping[int, str]) -> "ShapeSpec":
+        """Build a spec from a concrete shape, tagging symbolic extents.
+
+        ``symbols`` maps concrete values to symbol names (``{13: "B"}``);
+        the runner picks symbol values that collide with no architectural
+        constant, so value-equality is a safe re-symbolisation rule.
+        """
+        return cls(tuple(Dim(v, symbols.get(int(v), "")) for v in shape))
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    def values(self) -> Tuple[int, ...]:
+        return tuple(d.value for d in self.dims)
+
+    @property
+    def is_symbolic(self) -> bool:
+        return any(d.is_symbolic for d in self.dims)
+
+    def size(self) -> int:
+        size = 1
+        for d in self.dims:
+            size *= d.value
+        return size
+
+    def render(self) -> str:
+        if not self.dims:
+            return "()"
+        if len(self.dims) == 1:
+            return f"({self.dims[0].render()},)"
+        return "(" + ", ".join(d.render() for d in self.dims) + ")"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShapeSpec):
+            return NotImplemented
+        return self.dims == other.dims
+
+    def __hash__(self) -> int:
+        return hash(self.dims)
+
+    def __repr__(self) -> str:
+        return f"ShapeSpec{self.render()}"
+
+
+class TensorSpec:
+    """Abstract value flowing through the checker: shape spec + dtype."""
+
+    __slots__ = ("shape", "dtype")
+
+    def __init__(self, shape: ShapeSpec, dtype: str) -> None:
+        self.shape = shape
+        self.dtype = str(dtype)
+
+    def nbytes(self) -> int:
+        return self.shape.size() * np.dtype(self.dtype).itemsize
+
+    def render(self) -> str:
+        return f"{self.shape.render()} {self.dtype}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TensorSpec):
+            return NotImplemented
+        return self.shape == other.shape and self.dtype == other.dtype
+
+    def __repr__(self) -> str:
+        return f"TensorSpec({self.render()})"
+
+
+@dataclass(frozen=True)
+class BroadcastEvent:
+    """One implicit-alignment event observed while broadcasting operands.
+
+    ``kind`` is ``"stretch"`` (a size-1 extent replicated across a larger
+    one) or ``"rank_expand"`` (an operand implicitly gained leading axes).
+    ``hazardous`` marks events the auditor should surface: stretches
+    across a *symbolic* dim, and rank expansions of operands that
+    themselves carry a symbolic dim.  A bias ``(d,)`` added to ``(B, d)``
+    or a LayerNorm ``(B, 1)`` statistic stretched across a concrete model
+    width are ordinary idioms and stay quiet.
+    """
+
+    kind: str
+    operand: int
+    axis: int
+    detail: str
+    hazardous: bool
+
+
+def _merge_dim(a: Dim, b: Dim, axis: int) -> Dim:
+    if a.value != b.value:
+        raise SpecError(
+            f"axis {axis}: incompatible extents {a.render()} vs {b.render()}"
+        )
+    return Dim(a.value, a.symbol or b.symbol)
+
+
+def broadcast_specs(
+    specs: Sequence[ShapeSpec],
+) -> Tuple[ShapeSpec, List[BroadcastEvent]]:
+    """Numpy-style broadcast over shape specs, recording alignment events.
+
+    Returns the broadcast result and the list of :class:`BroadcastEvent`
+    describing every rank expansion and size-1 stretch, with hazard flags
+    already applied.  Raises :class:`SpecError` when the specs do not
+    broadcast (which, for a recorded trace, means a transfer rule bug).
+    """
+    rank = max((s.rank for s in specs), default=0)
+    events: List[BroadcastEvent] = []
+    for operand, spec in enumerate(specs):
+        if spec.rank < rank:
+            events.append(
+                BroadcastEvent(
+                    kind="rank_expand",
+                    operand=operand,
+                    axis=0,
+                    detail=(
+                        f"operand {operand} {spec.render()} implicitly gains "
+                        f"{rank - spec.rank} leading axis(es) to rank {rank}"
+                    ),
+                    hazardous=spec.is_symbolic,
+                )
+            )
+    out: List[Dim] = []
+    for axis in range(rank):
+        # Right-aligned axis for each operand.
+        merged = Dim(1)
+        stretch_sources: List[Tuple[int, Dim]] = []
+        for operand, spec in enumerate(specs):
+            offset = axis - (rank - spec.rank)
+            if offset < 0:
+                continue
+            dim = spec.dims[offset]
+            if dim.value == 1:
+                stretch_sources.append((operand, dim))
+                continue
+            if merged.value == 1:
+                merged = dim
+            else:
+                merged = _merge_dim(merged, dim, axis)
+        if merged.value != 1:
+            for operand, dim in stretch_sources:
+                events.append(
+                    BroadcastEvent(
+                        kind="stretch",
+                        operand=operand,
+                        axis=axis,
+                        detail=(
+                            f"operand {operand} stretches size-1 axis {axis} "
+                            f"across {merged.render()}"
+                        ),
+                        hazardous=merged.is_symbolic,
+                    )
+                )
+        out.append(merged)
+    return ShapeSpec(out), events
+
+
+def promote_dtypes(dtypes: Sequence[str]) -> str:
+    """Numpy result dtype for a set of operand dtypes."""
+    if not dtypes:
+        return "float64"
+    return str(np.result_type(*[np.dtype(d) for d in dtypes]))

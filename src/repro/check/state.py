@@ -1,0 +1,171 @@
+"""State-dict and serving-table validation (finding code C007).
+
+The same expected-vs-found spec rendering the abstract interpreter uses
+for ops is applied to *loaded state*: checkpoint dicts are validated
+against the target module's parameters before ``load_state_dict`` runs,
+and serving embedding tables are validated against the node count before
+they are cached.  A malformed checkpoint therefore fails at load time
+with the offending parameter named and both specs rendered, instead of
+as a mid-request numpy broadcast error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+import numpy as np
+
+from repro.check.report import CheckFinding
+from repro.check.spec import ShapeSpec, TensorSpec
+from repro.errors import CheckError
+
+__all__ = [
+    "state_dict_findings",
+    "table_findings",
+    "verify_state_dict",
+    "verify_table",
+]
+
+
+def _spec_of(value: Any) -> str:
+    array = np.asarray(value)
+    return TensorSpec(ShapeSpec.concrete(array.shape), str(array.dtype)).render()
+
+
+def state_dict_findings(module, state: Mapping[str, Any]) -> List[CheckFinding]:
+    """C007 findings for ``state`` loaded against ``module``'s parameters."""
+    findings: List[CheckFinding] = []
+    params: Dict[str, Any] = dict(module.named_parameters())
+    for name in sorted(set(params) - set(state)):
+        findings.append(
+            CheckFinding(
+                code="C007",
+                severity="error",
+                message=(
+                    f"checkpoint is missing parameter {name!r} "
+                    f"(expected {_spec_of(params[name].data)})"
+                ),
+                param=name,
+            )
+        )
+    for name in sorted(set(state) - set(params)):
+        findings.append(
+            CheckFinding(
+                code="C007",
+                severity="error",
+                message=(
+                    f"checkpoint has unexpected entry {name!r} "
+                    f"{_spec_of(state[name])} with no matching parameter"
+                ),
+                param=name,
+            )
+        )
+    for name in sorted(set(params) & set(state)):
+        expected = np.asarray(params[name].data)
+        found = np.asarray(state[name])
+        if expected.shape != found.shape:
+            findings.append(
+                CheckFinding(
+                    code="C007",
+                    severity="error",
+                    message=(
+                        f"parameter {name!r}: expected "
+                        f"{_spec_of(expected)}, checkpoint has {_spec_of(found)}"
+                    ),
+                    param=name,
+                )
+            )
+            continue
+        if not np.issubdtype(found.dtype, np.floating):
+            findings.append(
+                CheckFinding(
+                    code="C007",
+                    severity="error",
+                    message=(
+                        f"parameter {name!r}: checkpoint dtype {found.dtype} "
+                        "is not floating point"
+                    ),
+                    param=name,
+                )
+            )
+            continue
+        if not np.all(np.isfinite(found)):
+            findings.append(
+                CheckFinding(
+                    code="C007",
+                    severity="error",
+                    message=(
+                        f"parameter {name!r} {_spec_of(found)}: checkpoint "
+                        "contains non-finite values"
+                    ),
+                    param=name,
+                )
+            )
+    return findings
+
+
+def verify_state_dict(module, state: Mapping[str, Any], source: str = "checkpoint") -> None:
+    """Raise :class:`CheckError` when ``state`` does not fit ``module``."""
+    findings = state_dict_findings(module, state)
+    if findings:
+        details = "; ".join(f.message for f in findings[:5])
+        more = len(findings) - 5
+        if more > 0:
+            details += f"; and {more} more"
+        raise CheckError(
+            f"{source} failed the shape check against the model "
+            f"({len(findings)} C007 finding(s)): {details}"
+        )
+
+
+def table_findings(table: Any, num_nodes: int, relation: str) -> List[CheckFinding]:
+    """C007 findings for a serving embedding table of ``relation``."""
+    findings: List[CheckFinding] = []
+    array = np.asarray(table)
+    expected = f"(N={num_nodes}, d) floating"
+    if array.ndim != 2:
+        findings.append(
+            CheckFinding(
+                code="C007",
+                severity="error",
+                message=(
+                    f"embedding table for relation {relation!r}: expected "
+                    f"{expected}, model produced {_spec_of(array)}"
+                ),
+                param=relation,
+            )
+        )
+        return findings
+    if array.shape[0] != num_nodes:
+        findings.append(
+            CheckFinding(
+                code="C007",
+                severity="error",
+                message=(
+                    f"embedding table for relation {relation!r}: expected "
+                    f"{expected}, model produced {_spec_of(array)} "
+                    f"({array.shape[0]} rows for {num_nodes} nodes)"
+                ),
+                param=relation,
+            )
+        )
+    if not np.issubdtype(array.dtype, np.floating):
+        findings.append(
+            CheckFinding(
+                code="C007",
+                severity="error",
+                message=(
+                    f"embedding table for relation {relation!r}: dtype "
+                    f"{array.dtype} is not floating point (expected {expected})"
+                ),
+                param=relation,
+            )
+        )
+    return findings
+
+
+def verify_table(table: Any, num_nodes: int, relation: str) -> None:
+    """Raise :class:`CheckError` when a serving table fails validation."""
+    findings = table_findings(table, num_nodes, relation)
+    if findings:
+        raise CheckError("; ".join(f.message for f in findings))

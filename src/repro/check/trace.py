@@ -1,0 +1,127 @@
+"""Record a model's op DAG through the :mod:`repro.nn.tracing` hook.
+
+One concrete forward (plus loss) is executed inside :func:`trace`; every
+tensor built through ``Tensor._make`` lands in the tracer as a
+:class:`TraceNode` carrying the op name, parent indices, observed shape
+and dtype, and the op's static attrs.  Tensors the tracer has never seen
+before — parameters, input constants, or the output of ``detach()`` —
+are registered lazily as *leaf* nodes (``op=None``) the first time they
+appear as a parent.  Because ``detach()`` builds a fresh tensor outside
+``_make``, a detached value shows up as a gradient-free leaf, which is
+exactly how the auditor discovers broken gradient paths.
+
+The tracer keeps a strong reference to every tensor it has indexed so
+``id()`` keys stay unique for the lifetime of the trace.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.nn.tracing import set_trace_handler
+
+__all__ = ["TraceNode", "Tracer", "trace"]
+
+
+@dataclass
+class TraceNode:
+    """One tensor in the recorded DAG (leaf when ``op`` is ``None``)."""
+
+    index: int
+    op: Optional[str]
+    parents: Tuple[int, ...]
+    shape: Tuple[int, ...]
+    dtype: str
+    requires_grad: bool
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    name: str = ""
+    is_param: bool = False
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.op is None
+
+    def label(self) -> str:
+        if self.name:
+            return self.name
+        if self.op is not None:
+            return f"{self.op}#{self.index}"
+        return f"leaf#{self.index}"
+
+
+class Tracer:
+    """Accumulates :class:`TraceNode` entries during a recording run."""
+
+    def __init__(self) -> None:
+        self.nodes: List[TraceNode] = []
+        self._index: Dict[int, int] = {}
+        self._keepalive: List[Any] = []
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def _register(self, tensor: Any, node: TraceNode) -> None:
+        self._index[id(tensor)] = node.index
+        self._keepalive.append(tensor)
+        self.nodes.append(node)
+
+    def index_of(self, tensor: Any) -> int:
+        """Index of ``tensor``, registering it as a leaf if unseen."""
+        key = id(tensor)
+        idx = self._index.get(key)
+        if idx is not None:
+            return idx
+        node = TraceNode(
+            index=len(self.nodes),
+            op=None,
+            parents=(),
+            shape=tuple(tensor.shape),
+            dtype=str(tensor.data.dtype),
+            requires_grad=bool(tensor.requires_grad),
+        )
+        self._register(tensor, node)
+        return node.index
+
+    def handle(self, out: Any, parents: Tuple[Any, ...], op: str, attrs: Optional[Dict[str, Any]]) -> None:
+        """Trace-handler callback invoked by ``Tensor._make``."""
+        parent_indices = tuple(self.index_of(p) for p in parents)
+        node = TraceNode(
+            index=len(self.nodes),
+            op=op or "unknown",
+            parents=parent_indices,
+            shape=tuple(out.shape),
+            dtype=str(out.data.dtype),
+            requires_grad=bool(out.requires_grad),
+            attrs=dict(attrs) if attrs else {},
+        )
+        self._register(out, node)
+
+    def annotate_parameters(self, named: Iterable[Tuple[str, Any]]) -> None:
+        """Tag parameter tensors with their qualified names.
+
+        Parameters the forward never touched are registered here as fresh
+        leaves, so the auditor sees them (and reports them unreachable).
+        """
+        for name, param in named:
+            node = self.nodes[self.index_of(param)]
+            node.name = name
+            node.is_param = True
+
+    def op_nodes(self) -> List[TraceNode]:
+        return [n for n in self.nodes if n.op is not None]
+
+    def parameter_nodes(self) -> List[TraceNode]:
+        return [n for n in self.nodes if n.is_param]
+
+
+@contextmanager
+def trace() -> Iterator[Tracer]:
+    """Context manager recording all autograd ops built inside the block."""
+    tracer = Tracer()
+    previous = set_trace_handler(tracer.handle)
+    try:
+        yield tracer
+    finally:
+        set_trace_handler(previous)

@@ -19,10 +19,15 @@ Commands
     Regenerate one of the paper's tables or figures.
 ``verify``
     Run the correctness verification suites (gradcheck registry,
-    differential oracles, golden regression corpus); see TESTING.md.
+    differential oracles, transfer-rule crosscheck, golden regression
+    corpus); see TESTING.md.
 ``lint``
-    Run the project's AST lint rules (R001-R007) over the source tree
+    Run the project's AST lint rules (R001-R008) over the source tree
     against the committed baseline; see TESTING.md.
+``check-model``
+    Statically check a model/dataset pair: trace one training step,
+    abstractly re-propagate shapes/dtypes, and audit gradient flow,
+    broadcasts, and memory (:mod:`repro.check`); see TESTING.md.
 """
 
 from __future__ import annotations
@@ -182,7 +187,9 @@ def cmd_verify(args: argparse.Namespace) -> int:
     from repro import verify as verify_mod
 
     suites = (
-        ["gradcheck", "oracles", "golden"] if args.suite == "all" else [args.suite]
+        ["gradcheck", "oracles", "transfer", "golden"]
+        if args.suite == "all"
+        else [args.suite]
     )
     datasets = [d for d in args.datasets.split(",") if d] or None
     models = [m for m in args.models.split(",") if m] or None
@@ -219,6 +226,15 @@ def cmd_verify(args: argparse.Namespace) -> int:
         ok &= all(r.passed for r in results)
         report["suites"]["oracles"] = [r.to_dict() for r in results]
 
+    if "transfer" in suites:
+        # Lazy import: the static checker is not needed by the other suites.
+        from repro.check import format_transfer_table, run_transfer_suite
+
+        checks = run_transfer_suite(seed=args.seed)
+        print(format_transfer_table(checks))
+        ok &= all(c.passed for c in checks)
+        report["suites"]["transfer"] = [c.to_dict() for c in checks]
+
     if "golden" in suites:
         checks = verify_mod.verify_golden(
             datasets=datasets, models=models, verbose=True
@@ -233,6 +249,37 @@ def cmd_verify(args: argparse.Namespace) -> int:
             json.dump(report, handle, indent=2)
         print(f"report written to {args.report}")
     return 0 if ok else 1
+
+
+def cmd_check_model(args: argparse.Namespace) -> int:
+    # Imported lazily: the static checker pulls in the verification
+    # registry, which no other command needs.
+    from repro.check import check_model, format_json, format_text, run_self_test
+
+    if args.self_test:
+        ok, messages, reports = run_self_test(seed=args.seed)
+        if args.format == "json":
+            print(format_json([reports["stock"], reports["miswired"]], strict=True))
+        else:
+            for report in (reports["stock"], reports["miswired"]):
+                print(format_text(report, strict=True))
+        for message in messages:
+            print(f"self-test: {message}", file=sys.stderr)
+        print("self-test: " + ("ok" if ok else "FAILED"), file=sys.stderr)
+        return 0 if ok else 1
+
+    report = check_model(
+        model=args.model,
+        dataset=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        profile=args.profile,
+    )
+    if args.format == "json":
+        print(format_json([report], strict=args.strict))
+    else:
+        print(format_text(report, strict=args.strict))
+    return 0 if report.passed(strict=args.strict) else 1
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -331,7 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("verify", help="run the correctness verification suites")
     p.add_argument("--suite", default="all",
-                   choices=["all", "gradcheck", "oracles", "golden"])
+                   choices=["all", "gradcheck", "oracles", "transfer", "golden"])
     p.add_argument("--refresh-golden", action="store_true",
                    help="re-snapshot the golden corpus instead of checking it")
     p.add_argument("--datasets", default="",
@@ -342,7 +389,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report", default="", help="path for a JSON report")
     p.set_defaults(func=cmd_verify)
 
-    p = sub.add_parser("lint", help="run the project linter (AST rules R001-R007)")
+    p = sub.add_parser("check-model",
+                       help="statically check a model's op graph (no training)")
+    _add_common_dataset_args(p)
+    from repro.check.runner import CHECKABLE_MODELS
+
+    p.add_argument("--model", default="HybridGNN", choices=list(CHECKABLE_MODELS))
+    p.add_argument("--profile", default="", help="smoke (default) or paper")
+    p.add_argument("--format", default="text", choices=["text", "json"])
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings (C003-C006) as failures")
+    p.add_argument("--self-test", action="store_true",
+                   help="audit the seeded mis-wired HybridGNN variant instead: "
+                        "the stock model must pass, the variant must be flagged")
+    p.set_defaults(func=cmd_check_model)
+
+    p = sub.add_parser("lint", help="run the project linter (AST rules R001-R008)")
     from repro.lint.cli import add_lint_arguments
 
     add_lint_arguments(p)

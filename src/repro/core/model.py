@@ -167,6 +167,27 @@ class HybridGNN(Module):
         """Negatives per positive pair (trainer protocol)."""
         return self.config.num_negatives
 
+    def audit_exemptions(self) -> Dict[str, str]:
+        """Parameters structurally unused for this configuration.
+
+        Consumed by the graph auditor (``repro check-model``): matching
+        parameters that are unreachable from the loss are reported as
+        informational rather than as defects.  Patterns are fnmatch-style
+        against ``named_parameters()`` names.
+        """
+        exemptions = {
+            "self_projection.*": (
+                "fallback projection, used only for nodes with no applicable "
+                "flow and no exploration"
+            ),
+        }
+        if len(self.relations) < 2:
+            exemptions["relationship_attention.*"] = (
+                "single-relationship graph: forward bypasses "
+                "relationship-level attention"
+            )
+        return exemptions
+
     # ------------------------------------------------------------------
     # Forward pieces
     # ------------------------------------------------------------------

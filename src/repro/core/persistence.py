@@ -85,6 +85,12 @@ def load_checkpoint_into(model: Module, path: Union[str, Path]) -> None:
         if meta.get("format") != "repro-checkpoint":
             raise ReproError(f"{path} is not a repro checkpoint")
         state = {key: data[key] for key in data.files if key != _META_KEY}
+    # Run the shape checker first: a malformed checkpoint fails here with
+    # the offending parameter named and expected-vs-found specs rendered,
+    # not as a numpy broadcast error mid-load (or worse, mid-request).
+    from repro.check.state import verify_state_dict
+
+    verify_state_dict(model, state, source=str(path))
     model.load_state_dict(state)
 
 

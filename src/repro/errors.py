@@ -59,3 +59,12 @@ class EvaluationError(ReproError):
 
 class DatasetError(ReproError):
     """Dataset generation or splitting was configured inconsistently."""
+
+
+class CheckError(ReproError):
+    """The static model checker (:mod:`repro.check`) found a fatal defect.
+
+    Raised when a check cannot run (unknown model, no usable batch size)
+    and when a checkpoint or serving table fails spec validation against
+    the model's parameters (finding code C007).
+    """

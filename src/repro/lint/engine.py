@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 __all__ = [
     "Finding",
     "FileContext",
+    "LINT_SCHEMA_VERSION",
     "LintReport",
     "default_root",
     "lint_source",
@@ -35,6 +36,11 @@ _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
 
 #: Pseudo-rule code for files the engine cannot parse.
 PARSE_ERROR_CODE = "E001"
+
+#: Version of the JSON report layout emitted by :func:`format_json`.
+#: Bump when keys are renamed/removed so CI artifact consumers can tell a
+#: schema change from a regression.
+LINT_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -186,11 +192,17 @@ class LintReport:
         return self.passed and not self.stale_baseline
 
     def to_dict(self) -> Dict:
+        # Findings are globally re-sorted by (path, line, code): run order
+        # (and the per-file (line, col) tiebreak) must not leak into CI
+        # artifacts, or artifact diffs churn on unrelated changes.
+        ordered = sorted(self.findings, key=_artifact_order)
+        baselined = sorted(self.baselined, key=_artifact_order)
         return {
+            "schema_version": LINT_SCHEMA_VERSION,
             "root": self.root,
             "files_checked": self.files_checked,
-            "findings": [f.to_dict() for f in self.findings],
-            "baselined": [f.to_dict() for f in self.baselined],
+            "findings": [f.to_dict() for f in ordered],
+            "baselined": [f.to_dict() for f in baselined],
             "stale_baseline": list(self.stale_baseline),
             "suppressed": self.suppressed,
             "passed": self.passed,
@@ -235,6 +247,11 @@ def run_lint(
     report.baselined = baselined
     report.stale_baseline = [entry.to_dict() for entry in stale]
     return report
+
+
+def _artifact_order(finding: Finding) -> Tuple[str, int, str]:
+    """Stable CI-artifact ordering: (path, line, code)."""
+    return (finding.path, finding.line, finding.code)
 
 
 def format_text(report: LintReport) -> str:

@@ -17,6 +17,8 @@ R006    differentiable ``Tensor`` op with no case in the
         ``repro.verify.gradcheck`` registry
 R007    wall-clock or environment reads (``time.time``, ``os.environ``)
         inside the deterministic core/nn/sampling paths
+R008    ``Tensor`` op implementations constructing result arrays with a
+        hard-coded float dtype instead of inheriting the operand dtype
 ======  ==============================================================
 
 Every finding carries a fix hint and can be silenced on its line with
@@ -439,6 +441,82 @@ class EnvironmentReadRule(Rule):
         return findings
 
 
+class HardcodedDtypeRule(Rule):
+    """R008: op results must inherit operand dtype, not pin their own.
+
+    A ``Tensor`` op (a ``Tensor`` method or a functional built on
+    ``Tensor._make``) that constructs its result or an intermediate with
+    an explicit float dtype (``np.zeros(..., dtype=np.float64)``,
+    ``.astype(np.float32)``) silently promotes or truncates whatever
+    dtype flows in, which the graph checker then reports as a C004
+    promotion on every model.  Inherit the operand dtype
+    (``dtype=x.dtype``) instead.  Intentional coercion boundaries
+    (``Tensor.__init__``, the ``data`` setter, ``backward`` seeding) are
+    carried in the lint baseline.
+    """
+
+    code = "R008"
+    name = "hardcoded-dtype"
+    hint = (
+        "derive the result dtype from the operand (e.g. dtype=self._data.dtype "
+        "or .astype(x.dtype)); hard-coded float dtypes belong only at the "
+        "Tensor construction boundary"
+    )
+
+    _FLOAT_DTYPES = {
+        "np.float64", "np.float32", "np.float16", "numpy.float64",
+        "numpy.float32", "numpy.float16", "np.single", "np.double",
+        "numpy.single", "numpy.double",
+    }
+
+    def _float_dtype_name(self, node: ast.AST) -> Optional[str]:
+        name = _dotted(node)
+        if name in self._FLOAT_DTYPES:
+            return name
+        if isinstance(node, ast.Constant) and isinstance(node.value, str) and \
+                node.value.startswith(("float", "single", "double")):
+            return repr(node.value)
+        return None
+
+    def _check_scope(self, ctx: FileContext, scope: ast.FunctionDef,
+                     where: str) -> List[Finding]:
+        findings = []
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "dtype":
+                    continue
+                name = self._float_dtype_name(keyword.value)
+                if name is not None:
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"hard-coded result dtype {name} in {where}",
+                    ))
+            fn = _dotted(node.func)
+            if fn and fn.endswith(".astype") and node.args:
+                name = self._float_dtype_name(node.args[0])
+                if name is not None:
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"hard-coded .astype({name}) in {where}",
+                    ))
+        return findings
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings = []
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == "Tensor":
+                for member in node.body:
+                    if isinstance(member, ast.FunctionDef):
+                        findings.extend(self._check_scope(
+                            ctx, member, f"Tensor.{member.name}"))
+            elif isinstance(node, ast.FunctionDef) and \
+                    GradcheckCoverageRule._builds_tensor(node):
+                findings.extend(self._check_scope(ctx, node, node.name))
+        return findings
+
+
 RULES = (
     BareRandomRule,
     MutableDefaultRule,
@@ -447,6 +525,7 @@ RULES = (
     FloatEqualityRule,
     GradcheckCoverageRule,
     EnvironmentReadRule,
+    HardcodedDtypeRule,
 )
 
 

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.errors import AnomalyError, AutogradError, SanitizerError, ShapeError
 from repro.nn.sanitizer import STATE as _SANITIZER
+from repro.nn.tracing import STATE as _TRACING
 
 ArrayLike = Union[float, int, Sequence, np.ndarray, "Tensor"]
 
@@ -155,6 +156,7 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
         op: str = "",
+        attrs: Optional[dict] = None,
     ) -> "Tensor":
         out = Tensor(data)
         if _SANITIZER.anomaly and not np.isfinite(data).all():
@@ -174,6 +176,8 @@ class Tensor:
                 out._saved_versions = (
                     out._version,
                 ) + tuple(p._version for p in parents)
+        if _TRACING.active:
+            _TRACING.handler(out, parents, op, attrs)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -382,7 +386,13 @@ class Tensor:
                 g = np.expand_dims(g, axis=axis)
             self._accumulate(np.broadcast_to(g, self._data.shape).copy())
 
-        return Tensor._make(out_data, (self,), backward, op="sum")
+        return Tensor._make(
+            out_data,
+            (self,),
+            backward,
+            op="sum",
+            attrs={"axis": axis, "keepdims": keepdims},
+        )
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -398,12 +408,18 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             g = grad if keepdims else np.expand_dims(grad, axis=axis)
             expanded = out_data if keepdims else np.expand_dims(out_data, axis=axis)
-            mask = (self._data == expanded).astype(np.float64)
+            mask = (self._data == expanded).astype(self._data.dtype)
             # Split gradient evenly among ties to keep the op well-defined.
             mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
             self._accumulate(mask * g)
 
-        return Tensor._make(out_data, (self,), backward, op="max")
+        return Tensor._make(
+            out_data,
+            (self,),
+            backward,
+            op="max",
+            attrs={"axis": axis, "keepdims": keepdims},
+        )
 
     # ------------------------------------------------------------------
     # Elementwise nonlinearities
@@ -465,7 +481,7 @@ class Tensor:
             dot = (grad * out_data).sum(axis=axis, keepdims=True)
             self._accumulate(out_data * (grad - dot))
 
-        return Tensor._make(out_data, (self,), backward, op="softmax")
+        return Tensor._make(out_data, (self,), backward, op="softmax", attrs={"axis": axis})
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
         shifted = self._data - self._data.max(axis=axis, keepdims=True)
@@ -476,7 +492,9 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
 
-        return Tensor._make(out_data, (self,), backward, op="log_softmax")
+        return Tensor._make(
+            out_data, (self,), backward, op="log_softmax", attrs={"axis": axis}
+        )
 
     # ------------------------------------------------------------------
     # Shape manipulation
@@ -490,7 +508,9 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.reshape(original))
 
-        return Tensor._make(out_data, (self,), backward, op="reshape")
+        return Tensor._make(
+            out_data, (self,), backward, op="reshape", attrs={"shape": tuple(shape)}
+        )
 
     def transpose(self, axis1: int = -2, axis2: int = -1) -> "Tensor":
         out_data = np.swapaxes(self._data, axis1, axis2)
@@ -498,7 +518,9 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(np.swapaxes(grad, axis1, axis2))
 
-        return Tensor._make(out_data, (self,), backward, op="transpose")
+        return Tensor._make(
+            out_data, (self,), backward, op="transpose", attrs={"axis1": axis1, "axis2": axis2}
+        )
 
     def __getitem__(self, key) -> "Tensor":
         out_data = self._data[key]
@@ -516,7 +538,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(np.expand_dims(grad, axis=axis))
 
-        return Tensor._make(out_data, (self,), backward, op="squeeze")
+        return Tensor._make(out_data, (self,), backward, op="squeeze", attrs={"axis": axis})
 
     def unsqueeze(self, axis: int) -> "Tensor":
         out_data = np.expand_dims(self._data, axis=axis)
@@ -524,7 +546,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(np.squeeze(grad, axis=axis))
 
-        return Tensor._make(out_data, (self,), backward, op="unsqueeze")
+        return Tensor._make(out_data, (self,), backward, op="unsqueeze", attrs={"axis": axis})
 
     def broadcast_to(self, shape: Tuple[int, ...]) -> "Tensor":
         out_data = np.broadcast_to(self._data, shape).copy()
@@ -533,7 +555,9 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(_unbroadcast(grad, original))
 
-        return Tensor._make(out_data, (self,), backward, op="broadcast_to")
+        return Tensor._make(
+            out_data, (self,), backward, op="broadcast_to", attrs={"shape": tuple(shape)}
+        )
 
 
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -551,7 +575,7 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             index[axis] = slice(start, stop)
             tensor._accumulate(grad[tuple(index)])
 
-    return Tensor._make(out_data, tuple(tensors), backward, op="concat")
+    return Tensor._make(out_data, tuple(tensors), backward, op="concat", attrs={"axis": axis})
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -565,7 +589,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         for idx, tensor in enumerate(tensors):
             tensor._accumulate(np.take(grad, idx, axis=axis))
 
-    return Tensor._make(out_data, tuple(tensors), backward, op="stack")
+    return Tensor._make(out_data, tuple(tensors), backward, op="stack", attrs={"axis": axis})
 
 
 def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
@@ -585,7 +609,13 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
         np.add.at(full, indices.reshape(-1), grad.reshape(-1, weight.data.shape[-1]))
         weight._accumulate(full)
 
-    return Tensor._make(out_data, (weight,), backward, op="embedding_lookup")
+    return Tensor._make(
+        out_data,
+        (weight,),
+        backward,
+        op="embedding_lookup",
+        attrs={"indices_shape": tuple(indices.shape)},
+    )
 
 
 def sparse_matmul(matrix, x: Tensor) -> Tensor:
@@ -599,7 +629,13 @@ def sparse_matmul(matrix, x: Tensor) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._accumulate(matrix.T @ grad)
 
-    return Tensor._make(np.asarray(out_data), (x,), backward, op="sparse_matmul")
+    return Tensor._make(
+        np.asarray(out_data),
+        (x,),
+        backward,
+        op="sparse_matmul",
+        attrs={"matrix_shape": tuple(matrix.shape), "matrix_dtype": str(matrix.dtype)},
+    )
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
@@ -611,4 +647,6 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
         a._accumulate(_unbroadcast(np.where(condition, grad, 0.0), a.data.shape))
         b._accumulate(_unbroadcast(np.where(condition, 0.0, grad), b.data.shape))
 
-    return Tensor._make(out_data, (a, b), backward, op="where")
+    return Tensor._make(
+        out_data, (a, b), backward, op="where", attrs={"condition_shape": tuple(condition.shape)}
+    )

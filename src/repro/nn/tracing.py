@@ -1,0 +1,54 @@
+"""Op-graph tracing hooks for the static checker (:mod:`repro.check`).
+
+While a trace handler is installed, every autograd op built through
+:meth:`repro.nn.tensor.Tensor._make` reports ``(out, parents, op, attrs)``
+to the handler, where ``attrs`` is the op's static metadata (reduction
+axes, reshape targets, index shapes, ...).  The handler side lives in
+:mod:`repro.check.trace`; this module only holds the process-wide state so
+the tensor hot path stays a single attribute load + truthiness test when
+tracing is off, exactly like the sanitizer flags in
+:mod:`repro.nn.sanitizer`.
+
+Tracing is a *recording* facility: it never alters shapes, dtypes or
+gradients, and imposes zero per-op state while disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = ["set_trace_handler", "trace_handler_installed"]
+
+#: Handler signature: ``handler(out, parents, op, attrs)``.
+TraceHandler = Callable[[Any, Tuple[Any, ...], str, Optional[Dict[str, Any]]], None]
+
+
+class _State:
+    """Process-wide tracing state, read by the tensor hot path."""
+
+    __slots__ = ("active", "handler")
+
+    def __init__(self) -> None:
+        self.active = 0
+        self.handler: Optional[TraceHandler] = None
+
+
+STATE = _State()
+
+
+def set_trace_handler(handler: Optional[TraceHandler]) -> Optional[TraceHandler]:
+    """Install (or, with ``None``, remove) the op trace handler.
+
+    Returns the previously installed handler so nested scopes can restore
+    it.  Only one handler is active at a time; the installer owns the
+    tracing scope.
+    """
+    previous = STATE.handler
+    STATE.handler = handler
+    STATE.active = 1 if handler is not None else 0
+    return previous
+
+
+def trace_handler_installed() -> bool:
+    """True while an op trace handler is installed."""
+    return bool(STATE.active)

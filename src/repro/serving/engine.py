@@ -82,6 +82,12 @@ class RelationEmbeddingCache:
         table = np.asarray(
             self.model.node_embeddings(np.arange(self.num_nodes), relation)
         )
+        # Shape-check before caching: a model that produces a malformed
+        # table (wrong rank, wrong row count, non-float dtype) fails here
+        # with a rendered expected-vs-found spec, not mid-request.
+        from repro.check.state import verify_table
+
+        verify_table(table, self.num_nodes, relation)
         self._tables[relation] = table
         while len(self._tables) > self.capacity:
             evicted, _ = self._tables.popitem(last=False)

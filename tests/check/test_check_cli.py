@@ -1,0 +1,60 @@
+"""End-to-end ``repro check-model`` CLI tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCheckModelCLI:
+    def test_hybridgnn_strict_text(self, capsys):
+        code = main([
+            "check-model", "--dataset", "amazon", "--scale", "0.15",
+            "--strict",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HybridGNN" in out
+        assert "PASS" in out
+
+    def test_json_schema(self, capsys):
+        from repro.check.report import CHECK_SCHEMA_VERSION
+
+        code = main([
+            "check-model", "--dataset", "amazon", "--scale", "0.15",
+            "--strict", "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == CHECK_SCHEMA_VERSION
+        assert payload["strict"] is True
+        assert payload["passed"] is True
+        (report,) = payload["reports"]
+        assert report["model"] == "HybridGNN"
+        assert report["dataset"] == "amazon"
+        assert report["graph"]["num_ops"] > 0
+
+    def test_baseline_model(self, capsys):
+        code = main([
+            "check-model", "--dataset", "amazon", "--scale", "0.15",
+            "--model", "GCN", "--strict",
+        ])
+        assert code == 0
+        assert "GCN" in capsys.readouterr().out
+
+    def test_self_test_flag(self, capsys):
+        code = main(["check-model", "--self-test"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "self-test: ok" in captured.out + captured.err
+        # Both the clean stock report and the flagged mis-wired one render.
+        assert "MiswiredHybridGNN" in captured.out
+
+    def test_verify_transfer_suite(self, capsys):
+        code = main(["verify", "--suite", "transfer", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "transfer.coverage" in out

@@ -1,0 +1,144 @@
+"""Unit tests for the shape/dtype spec lattice (repro.check.spec)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.check.spec import (
+    Dim,
+    ShapeSpec,
+    SpecError,
+    TensorSpec,
+    broadcast_specs,
+    promote_dtypes,
+)
+
+
+class TestDim:
+    def test_concrete_render(self):
+        assert Dim(16).render() == "16"
+        assert not Dim(16).is_symbolic
+
+    def test_symbolic_render(self):
+        dim = Dim(13, "B")
+        assert dim.render() == "B"
+        assert dim.is_symbolic
+
+
+class TestShapeSpec:
+    def test_concrete_roundtrip(self):
+        spec = ShapeSpec.concrete((3, 4))
+        assert spec.values() == (3, 4)
+        assert spec.rank == 2
+        assert spec.size() == 12
+        assert spec.render() == "(3, 4)"
+
+    def test_symbolized_tags_matching_values(self):
+        spec = ShapeSpec.symbolized((13, 16, 13), {13: "B"})
+        assert spec.render() == "(B, 16, B)"
+        assert spec.values() == (13, 16, 13)
+        assert spec.is_symbolic
+
+    def test_scalar(self):
+        spec = ShapeSpec.concrete(())
+        assert spec.rank == 0
+        assert spec.size() == 1
+        assert not spec.is_symbolic
+
+
+class TestTensorSpec:
+    def test_render_and_nbytes(self):
+        spec = TensorSpec(ShapeSpec.symbolized((13, 4), {13: "B"}), "float64")
+        assert spec.render() == "(B, 4) float64"
+        assert spec.nbytes() == 13 * 4 * 8
+
+
+class TestBroadcastSpecs:
+    def test_equal_shapes_no_events(self):
+        shape, events = broadcast_specs(
+            [ShapeSpec.concrete((3, 4)), ShapeSpec.concrete((3, 4))]
+        )
+        assert shape.values() == (3, 4)
+        assert events == []
+
+    def test_stretch_across_concrete_dim_is_benign(self):
+        shape, events = broadcast_specs(
+            [ShapeSpec.concrete((3, 4)), ShapeSpec.concrete((1, 4))]
+        )
+        assert shape.values() == (3, 4)
+        (event,) = events
+        assert event.kind == "stretch"
+        assert not event.hazardous
+
+    def test_stretch_across_symbolic_dim_is_hazardous(self):
+        shape, events = broadcast_specs(
+            [
+                ShapeSpec.symbolized((13, 4), {13: "B"}),
+                ShapeSpec.concrete((1, 4)),
+            ]
+        )
+        assert shape.render() == "(B, 4)"
+        stretches = [e for e in events if e.kind == "stretch"]
+        assert stretches and all(e.hazardous for e in stretches)
+
+    def test_rank_expand_of_concrete_bias_is_benign(self):
+        shape, events = broadcast_specs(
+            [
+                ShapeSpec.symbolized((13, 4), {13: "B"}),
+                ShapeSpec.concrete((4,)),
+            ]
+        )
+        assert shape.render() == "(B, 4)"
+        expands = [e for e in events if e.kind == "rank_expand"]
+        assert expands and all(not e.hazardous for e in expands)
+
+    def test_rank_expand_of_symbolic_operand_is_hazardous(self):
+        shape, events = broadcast_specs(
+            [
+                ShapeSpec.concrete((5, 13, 4)),
+                ShapeSpec.symbolized((13, 4), {13: "B"}),
+            ]
+        )
+        assert shape.values() == (5, 13, 4)
+        expands = [e for e in events if e.kind == "rank_expand"]
+        assert expands and all(e.hazardous for e in expands)
+
+    def test_incompatible_shapes_raise(self):
+        with pytest.raises(SpecError):
+            broadcast_specs(
+                [ShapeSpec.concrete((3, 4)), ShapeSpec.concrete((5, 4))]
+            )
+
+    def test_matches_numpy_broadcasting(self, rng):
+        checked = 0
+        while checked < 25:
+            shape_a = tuple(
+                int(d) for d in rng.choice([1, 2, 3], size=rng.integers(0, 4))
+            )
+            shape_b = tuple(
+                int(d) for d in rng.choice([1, 2, 3], size=rng.integers(0, 4))
+            )
+            try:
+                expected = np.broadcast_shapes(shape_a, shape_b)
+            except ValueError:
+                with pytest.raises(SpecError):
+                    broadcast_specs(
+                        [ShapeSpec.concrete(shape_a), ShapeSpec.concrete(shape_b)]
+                    )
+                continue
+            shape, _ = broadcast_specs(
+                [ShapeSpec.concrete(shape_a), ShapeSpec.concrete(shape_b)]
+            )
+            assert shape.values() == expected
+            checked += 1
+
+
+class TestPromoteDtypes:
+    def test_same_dtype(self):
+        assert promote_dtypes(["float64", "float64"]) == "float64"
+
+    def test_promotion_follows_numpy(self):
+        assert promote_dtypes(["float32", "float64"]) == str(
+            np.result_type(np.float32, np.float64)
+        )

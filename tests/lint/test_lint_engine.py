@@ -112,3 +112,53 @@ def test_suppression_is_counted_not_silent(tmp_path):
     report = run_lint(root=root, baseline_path=tmp_path / "none.json")
     assert report.passed
     assert report.suppressed == 1
+
+
+def test_json_schema_version_and_stable_finding_order(tmp_path):
+    """Regression: the JSON artifact carries a schema version and findings
+    sorted by (path, line, code), independent of file walk order."""
+    from repro.lint.engine import LINT_SCHEMA_VERSION
+
+    # Three dirty files named so that walk order (alphabetical) differs
+    # from no ordering at all; plus two findings in one file.
+    (tmp_path / "zz.py").write_text(DIRTY)
+    (tmp_path / "aa.py").write_text(
+        "import numpy as np\n\ndef g():\n    x = np.random.rand()\n"
+        "    return x + np.random.rand()\n"
+    )
+    report = run_lint(root=tmp_path, baseline_path=tmp_path / "none.json")
+    payload = json.loads(format_json(report))
+
+    assert payload["schema_version"] == LINT_SCHEMA_VERSION
+    keys = [
+        (f["path"], f["line"], f["code"]) for f in payload["findings"]
+    ]
+    assert keys == sorted(keys)
+    assert len(keys) == 3
+    assert [k[0] for k in keys] == ["aa.py", "aa.py", "zz.py"]
+
+
+def test_json_baselined_findings_share_stable_order(tmp_path):
+    (tmp_path / "zz.py").write_text(DIRTY)
+    (tmp_path / "aa.py").write_text(DIRTY)
+    report = run_lint(root=tmp_path, baseline_path=tmp_path / "none.json")
+    entries = [
+        BaselineEntry(code=f.code, path=f.path, message=f.message,
+                      reason="test debt")
+        for f in report.findings
+    ]
+    baseline_file = tmp_path / "baseline.json"
+    baseline_file.write_text(json.dumps({
+        "note": "test", "entries": [
+            {"code": e.code, "path": e.path, "message": e.message,
+             "reason": e.reason}
+            for e in entries
+        ],
+    }))
+    report = run_lint(root=tmp_path, baseline_path=baseline_file)
+    payload = json.loads(format_json(report))
+    assert payload["findings"] == []
+    keys = [
+        (f["path"], f["line"], f["code"]) for f in payload["baselined"]
+    ]
+    assert keys == sorted(keys) and len(keys) == 2

@@ -1,4 +1,4 @@
-"""Per-rule tests for the ``repro lint`` AST rules R001-R007.
+"""Per-rule tests for the ``repro lint`` AST rules R001-R008.
 
 Every rule is exercised three ways: a positive snippet that must be
 flagged, the same snippet silenced with ``# repro-lint: disable=RXXX``,
@@ -193,6 +193,29 @@ POSITIVE = [
         """,
         "os.environ",
     ),
+    (
+        "R008",
+        "nn/tensor.py",
+        """\
+        import numpy as np
+
+        class Tensor:
+            def zeros_like(self):
+                return np.zeros(self._data.shape, dtype=np.float64)  # LINE
+        """,
+        "np.float64",
+    ),
+    (
+        "R008",
+        "nn/tensor.py",
+        """\
+        import numpy as np
+
+        def cast_op(x):
+            return Tensor._make(x.data.astype(np.float32), (x,), lambda g: None)  # LINE
+        """,
+        "np.float32",
+    ),
 ]
 
 IDS = [f"{code}-{i}" for i, (code, _, _, _) in enumerate(POSITIVE)]
@@ -374,12 +397,55 @@ def test_r007_only_applies_to_deterministic_core_paths():
     assert "R007" in codes(found)
 
 
+def test_r008_derived_dtypes_and_non_op_code_pass():
+    # Deriving the dtype from the operand is the blessed pattern.
+    found, _ = findings_for(
+        """\
+        import numpy as np
+
+        class Tensor:
+            def zeros_like(self):
+                return np.zeros(self._data.shape, dtype=self._data.dtype)
+        """,
+        "nn/tensor.py",
+    )
+    assert "R008" not in codes(found)
+    # Hard-coded dtypes outside the Tensor op surface (plain helpers that
+    # never call Tensor._make) are out of scope for R008.
+    found, _ = findings_for(
+        """\
+        import numpy as np
+
+        def histogram(values):
+            return np.zeros(16, dtype=np.float64)
+        """,
+        "eval/metrics_extra.py",
+    )
+    assert "R008" not in codes(found)
+
+
+def test_r008_flags_string_dtype_constants():
+    found, _ = findings_for(
+        """\
+        import numpy as np
+
+        class Tensor:
+            def as_single(self):
+                return self._data.astype("float32")
+        """,
+        "nn/tensor.py",
+    )
+    assert any(
+        f.code == "R008" and "'float32'" in f.message for f in found
+    )
+
+
 def test_all_rules_have_stable_metadata():
     rules = all_rules()
-    assert len(rules) == len(RULES) == 7
+    assert len(rules) == len(RULES) == 8
     seen = set()
     for rule in rules:
         assert rule.code.startswith("R") and len(rule.code) == 4
         assert rule.name and rule.hint
         seen.add(rule.code)
-    assert seen == {f"R00{i}" for i in range(1, 8)}
+    assert seen == {f"R00{i}" for i in range(1, 9)}
