@@ -2,7 +2,13 @@
 
 Each case times the retained ``_reference_*`` (pre-engine, one-source-at-a-
 time) recommendation paths against :class:`repro.serving.BatchServingEngine`
-on the same workload and reports the speedup.  Run standalone (writes
+on the same workload and reports the speedup.  A second section
+(``index_sweep``) scales a synthetic candidate pool to 10^6 vectors and
+measures every :mod:`repro.serving.index` backend against the exact
+brute-force oracle — search latency, recall@10, and candidates scored per
+query.  The sweep uses i.i.d. Gaussian vectors, the *structureless worst
+case* for approximate retrieval: real (trained) embedding tables cluster,
+so sweep recall is a floor, not an estimate.  Run standalone (writes
 ``BENCH_serving.json``):
 
     PYTHONPATH=src python benchmarks/bench_serving.py [--smoke] [--out PATH]
@@ -19,7 +25,7 @@ import json
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -104,6 +110,87 @@ def bench_rank_sources(recommender, sources, relation,
 
 
 # ----------------------------------------------------------------------
+# Index pool-scaling sweep
+# ----------------------------------------------------------------------
+# HNSW is a sequential pure-python build (~2ms/vector); pools above this
+# size are skipped in the sweep rather than silently benchmarked at hours
+# of build time.  IVF (blocked BLAS k-means) runs at every size.
+_HNSW_SWEEP_CAP = 10_000
+
+
+def _sweep_backends(pool_size: int) -> List[Dict[str, object]]:
+    """Backend configs per pool size, tuned for the recall/latency knee."""
+    # nprobe grows with nlist (~sqrt(N)) to hold the probed fraction near
+    # 10%; at 10^6 that is the measured >= 5x-speedup point on Gaussian
+    # vectors (finer tuning trades recall against latency linearly).
+    nlist = int(round(np.sqrt(pool_size)))
+    configs: List[Dict[str, object]] = [
+        {"backend": "ivf", "params": {"nprobe": max(16, nlist // 8)}},
+    ]
+    if pool_size <= _HNSW_SWEEP_CAP:
+        configs.append({
+            "backend": "hnsw",
+            "params": {"m": 12, "ef_construction": 64, "ef_search": 96},
+        })
+    return configs
+
+
+def bench_index_sweep(smoke: bool, dim: int = 32, k: int = 10,
+                      num_queries: int = 64, seed: int = 0,
+                      sizes: Optional[List[int]] = None) -> Dict[str, object]:
+    """Latency + recall@k per index backend over growing candidate pools."""
+    from repro.serving.index import ExactIndex, make_index
+
+    if sizes is None:
+        sizes = [4096, 32768] if smoke else [10_000, 100_000, 1_000_000]
+    rng = np.random.default_rng(seed)
+    pools = []
+    for pool_size in sizes:
+        vectors = rng.standard_normal((pool_size, dim))
+        queries = rng.standard_normal((num_queries, dim))
+        repeats = 3 if pool_size >= 500_000 else 5
+        exact = ExactIndex(block_size=16).build(vectors)
+        exact_s = _time(lambda: exact.search(queries, k), repeats)
+        exact_ids = [set(ids.tolist()) for ids, _ in exact.search(queries, k)]
+        entry: Dict[str, object] = {
+            "pool_size": pool_size,
+            "exact": {
+                "search_s": exact_s,
+                "scored_per_query": pool_size,
+            },
+            "backends": {},
+        }
+        for config in _sweep_backends(pool_size):
+            backend = str(config["backend"])
+            index = make_index(backend, seed=seed, **config["params"])
+            with Timer() as build_timer:
+                index.build(vectors)
+            search_s = _time(lambda: index.search(queries, k), repeats)
+            found = index.search(queries, k)
+            recall = float(np.mean([
+                len(exact_ids[j] & set(ids.tolist())) / k
+                for j, (ids, _) in enumerate(found)
+            ]))
+            entry["backends"][backend] = {
+                "params": config["params"],
+                "build_s": build_timer.elapsed,
+                "search_s": search_s,
+                "speedup_vs_exact": exact_s / search_s if search_s > 0 else float("inf"),
+                "recall_at_k": recall,
+                "scored_per_query": index.last_candidates // num_queries,
+            }
+        pools.append(entry)
+    return {
+        "dim": dim,
+        "k": k,
+        "num_queries": num_queries,
+        "distribution": "iid standard normal (structureless ANN worst case)",
+        "hnsw_pool_cap": _HNSW_SWEEP_CAP,
+        "pools": pools,
+    }
+
+
+# ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
 def run_all(profile=None, smoke: bool = False) -> Dict[str, object]:
@@ -145,6 +232,7 @@ def run_all(profile=None, smoke: bool = False) -> Dict[str, object]:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "serving_stats": recommender.engine.latency_report(),
         "cases": {case["name"]: case for case in cases},
+        "index_sweep": bench_index_sweep(smoke),
     }
 
 
@@ -171,6 +259,23 @@ def main(argv=None) -> int:
             f"  {name:<16} {case['reference_s'] * 1e3:8.2f}ms -> "
             f"{case['batched_s'] * 1e3:7.2f}ms   {case['speedup']:6.1f}x"
         )
+    sweep = results["index_sweep"]
+    print(f"index sweep (dim={sweep['dim']}, k={sweep['k']}, "
+          f"{sweep['num_queries']} queries):")
+    for pool in sweep["pools"]:
+        exact = pool["exact"]
+        print(f"  pool {pool['pool_size']:>9,}  "
+              f"exact {exact['search_s'] * 1e3:8.2f}ms")
+    for pool in sweep["pools"]:
+        for backend, entry in pool["backends"].items():
+            print(
+                f"  pool {pool['pool_size']:>9,}  {backend:<5} "
+                f"{entry['search_s'] * 1e3:8.2f}ms  "
+                f"{entry['speedup_vs_exact']:6.1f}x  "
+                f"recall@{sweep['k']} {entry['recall_at_k']:.3f}  "
+                f"scored/q {entry['scored_per_query']:,}  "
+                f"(build {entry['build_s']:.1f}s)"
+            )
     print(f"wrote {args.out}")
     return 0
 

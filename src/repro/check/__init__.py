@@ -30,8 +30,10 @@ from repro.check.runner import CHECKABLE_MODELS, check_model
 from repro.check.selftest import build_miswired_report, build_stock_report, run_self_test
 from repro.check.spec import BroadcastEvent, Dim, ShapeSpec, TensorSpec
 from repro.check.state import (
+    index_findings,
     state_dict_findings,
     table_findings,
+    verify_index,
     verify_state_dict,
     verify_table,
 )
@@ -67,6 +69,7 @@ __all__ = [
     "format_json",
     "format_text",
     "format_transfer_table",
+    "index_findings",
     "propagate",
     "required_transfer_ops",
     "run_self_test",
@@ -76,6 +79,7 @@ __all__ = [
     "trace",
     "transfer_rule",
     "uncovered_transfer_rules",
+    "verify_index",
     "verify_state_dict",
     "verify_table",
 ]

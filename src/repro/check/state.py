@@ -20,8 +20,10 @@ from repro.check.spec import ShapeSpec, TensorSpec
 from repro.errors import CheckError
 
 __all__ = [
+    "index_findings",
     "state_dict_findings",
     "table_findings",
+    "verify_index",
     "verify_state_dict",
     "verify_table",
 ]
@@ -169,3 +171,66 @@ def verify_table(table: Any, num_nodes: int, relation: str) -> None:
     findings = table_findings(table, num_nodes, relation)
     if findings:
         raise CheckError("; ".join(f.message for f in findings))
+
+
+def index_findings(meta: Mapping[str, Any], index: Any, table: Any,
+                   pool: Any) -> List[CheckFinding]:
+    """C007 findings for a persisted serving index against live state.
+
+    A loaded :class:`repro.serving.index.VectorIndex` must describe the
+    same world the engine is serving: one row per pool candidate, built at
+    the live embedding dimensionality, with a metadata header that agrees
+    with the arrays actually loaded.  Any mismatch means the index was
+    built against a different checkpoint (stale) or a different candidate
+    pool (wrong graph) and would silently surface wrong candidates.
+    """
+    findings: List[CheckFinding] = []
+    table = np.asarray(table)
+    pool = np.asarray(pool)
+    name = str(meta.get("relation", "?"))
+
+    def finding(message: str) -> CheckFinding:
+        return CheckFinding(
+            code="C007", severity="error", message=message, param=name
+        )
+
+    backend = meta.get("backend")
+    if backend != getattr(index, "backend", None):
+        findings.append(finding(
+            f"serving index for relation {name!r}: metadata says backend "
+            f"{backend!r} but the loaded index is "
+            f"{getattr(index, 'backend', None)!r}"
+        ))
+    for field_name, actual in (("size", index.size), ("dim", index.dim)):
+        declared = meta.get(field_name)
+        if declared is not None and int(declared) != int(actual):
+            findings.append(finding(
+                f"serving index for relation {name!r}: metadata declares "
+                f"{field_name}={declared} but the loaded arrays have "
+                f"{field_name}={actual}"
+            ))
+    if index.size != len(pool):
+        findings.append(finding(
+            f"serving index for relation {name!r}: built over {index.size} "
+            f"candidates but the live pool for type "
+            f"{meta.get('target_type')!r} has {len(pool)} (stale index)"
+        ))
+    dim = index.dim
+    if dim and table.ndim == 2 and dim != table.shape[1]:
+        findings.append(finding(
+            f"serving index for relation {name!r}: built at dim {dim} but "
+            f"the live embedding table is {_spec_of(table)} (shape mismatch)"
+        ))
+    return findings
+
+
+def verify_index(meta: Mapping[str, Any], index: Any, table: Any, pool: Any,
+                 source: str = "index") -> None:
+    """Raise :class:`CheckError` when a persisted index fails validation."""
+    findings = index_findings(meta, index, table, pool)
+    if findings:
+        raise CheckError(
+            f"{source} failed the serving-state check "
+            f"({len(findings)} C007 finding(s)): "
+            + "; ".join(f.message for f in findings)
+        )

@@ -12,15 +12,17 @@ Commands
 ``recommend``
     Print top-K recommendations from a saved embedding export — one node
     via ``--node``, or many at once via ``--nodes`` (served by the batched
-    engine in :mod:`repro.serving`).
+    engine in :mod:`repro.serving`); ``--index ivf|hnsw`` (with
+    ``--nprobe`` / ``--ef-search``) swaps in a sub-linear approximate
+    retrieval backend.
 ``schemes``
     Enumerate/suggest metapath schemes for a dataset-alike.
 ``table`` / ``figure``
     Regenerate one of the paper's tables or figures.
 ``verify``
     Run the correctness verification suites (gradcheck registry,
-    differential oracles, transfer-rule crosscheck, golden regression
-    corpus); see TESTING.md.
+    differential oracles, index recall oracles, transfer-rule crosscheck,
+    golden regression corpus); see TESTING.md.
 ``lint``
     Run the project's AST lint rules (R001-R008) over the source tree
     against the committed baseline; see TESTING.md.
@@ -140,7 +142,14 @@ def cmd_recommend(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     split = split_edges(dataset.graph, rng=args.seed + 10_000)
     store = load_embeddings(args.embeddings)
-    recommender = Recommender(store, split.train_graph)
+    engine_options: dict = {"index": args.index}
+    index_params = {"seed": args.seed}
+    if args.nprobe is not None:
+        index_params["nprobe"] = args.nprobe
+    if args.ef_search is not None:
+        index_params["ef_search"] = args.ef_search
+    engine_options["index_params"] = index_params
+    recommender = Recommender(store, split.train_graph, engine_options)
     if args.nodes:
         sources = [int(token) for token in args.nodes.split(",") if token.strip()]
         lists = recommender.recommend_batch(sources, args.relation, k=args.k)
@@ -156,6 +165,16 @@ def cmd_recommend(args: argparse.Namespace) -> int:
         ))
         if args.stats:
             print(recommender.engine.profiler.summary())
+            stats = recommender.engine.stats.to_dict()
+            latency = stats["latency_ms"]
+            print(
+                f"requests {stats['requests']}, sources {stats['sources']}, "
+                f"candidates scored {stats['candidates_scored']}, "
+                f"index builds {stats['index_builds']}, "
+                f"exact fallbacks {stats['exact_fallbacks']}; "
+                f"request latency p50 {latency['p50']:.2f}ms / "
+                f"p95 {latency['p95']:.2f}ms / p99 {latency['p99']:.2f}ms"
+            )
         return 0
     recs = recommender.recommend(args.node, args.relation, k=args.k)
     rows = [[rec.node, rec.score] for rec in recs]
@@ -187,7 +206,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
     from repro import verify as verify_mod
 
     suites = (
-        ["gradcheck", "oracles", "transfer", "golden"]
+        ["gradcheck", "oracles", "index", "transfer", "golden"]
         if args.suite == "all"
         else [args.suite]
     )
@@ -225,6 +244,12 @@ def cmd_verify(args: argparse.Namespace) -> int:
         print(verify_mod.format_oracle_table(results))
         ok &= all(r.passed for r in results)
         report["suites"]["oracles"] = [r.to_dict() for r in results]
+
+    if "index" in suites:
+        results = verify_mod.index_oracles(seed=args.seed)
+        print(verify_mod.format_oracle_table(results))
+        ok &= all(r.passed for r in results)
+        report["suites"]["index"] = [r.to_dict() for r in results]
 
     if "transfer" in suites:
         # Lazy import: the static checker is not needed by the other suites.
@@ -362,6 +387,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=10)
     p.add_argument("--stats", action="store_true",
                    help="print serving-engine stage timings after a batch")
+    p.add_argument("--index", default="exact",
+                   choices=["exact", "ivf", "hnsw"],
+                   help="retrieval backend: exact brute force (default), or "
+                        "an approximate sub-linear index (recall-gated by "
+                        "'repro verify --suite index')")
+    p.add_argument("--nprobe", type=int, default=None,
+                   help="ivf: clusters probed per query (higher = better "
+                        "recall, more candidates scored)")
+    p.add_argument("--ef-search", type=int, default=None,
+                   help="hnsw: beam width during search (higher = better "
+                        "recall, slower)")
     p.set_defaults(func=cmd_recommend)
 
     p = sub.add_parser("schemes", help="suggest metapath schemes")
@@ -378,7 +414,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("verify", help="run the correctness verification suites")
     p.add_argument("--suite", default="all",
-                   choices=["all", "gradcheck", "oracles", "transfer", "golden"])
+                   choices=["all", "gradcheck", "oracles", "index",
+                            "transfer", "golden"])
     p.add_argument("--refresh-golden", action="store_true",
                    help="re-snapshot the golden corpus instead of checking it")
     p.add_argument("--datasets", default="",

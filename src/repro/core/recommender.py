@@ -45,11 +45,20 @@ class Recommender:
         The *training* graph: its edges define what the user has already
         interacted with (excluded from recommendations) and its node types
         define candidate pools.
+    engine_options:
+        Extra keyword arguments forwarded to
+        :class:`repro.serving.BatchServingEngine` when the lazy engine is
+        first built — e.g. ``index="ivf"``,
+        ``index_params={"nprobe": 32}`` to serve through an approximate
+        retrieval backend (the ``repro recommend`` CLI's ``--index`` /
+        ``--nprobe`` / ``--ef-search`` flags arrive here).
     """
 
-    def __init__(self, model: RelationEmbedder, graph: MultiplexHeteroGraph):
+    def __init__(self, model: RelationEmbedder, graph: MultiplexHeteroGraph,
+                 engine_options: Optional[dict] = None):
         self.model = model
         self.graph = graph
+        self.engine_options = dict(engine_options or {})
         self._engine = None
 
     @property
@@ -58,7 +67,9 @@ class Recommender:
         if self._engine is None:
             from repro.serving import BatchServingEngine
 
-            self._engine = BatchServingEngine(self.model, self.graph)
+            self._engine = BatchServingEngine(
+                self.model, self.graph, **self.engine_options
+            )
         return self._engine
 
     # ------------------------------------------------------------------

@@ -10,12 +10,34 @@ runs:
     with profiler.stage("sampling.walks"):
         walks = walker.walks(...)
     profiler.report()  # {"sampling.walks": {"seconds": ..., "calls": ...}, ...}
+
+Besides totals, each stage keeps a bounded window of recent per-activation
+durations so :meth:`StageProfiler.report` can surface tail latency
+(``p50_ms``/``p95_ms``/``p99_ms``) — totals alone hide the slow requests
+that dominate user-perceived serving latency.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from collections import deque
+from typing import Deque, Dict, Optional
+
+# Per-stage sample window for percentile estimation.  Bounded so a
+# long-lived profiler reports recent behavior at O(1) memory; 4096 samples
+# resolve a p99 to ~40 observations.
+_SAMPLE_WINDOW = 4096
+
+
+def _percentile(ordered: "list[float]", fraction: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sample list."""
+    if not ordered:
+        return 0.0
+    rank = fraction * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
 
 
 class Timer:
@@ -62,6 +84,7 @@ class StageProfiler:
     def __init__(self):
         self._seconds: Dict[str, float] = {}
         self._calls: Dict[str, int] = {}
+        self._samples: Dict[str, Deque[float]] = {}
 
     def stage(self, name: str) -> _StageScope:
         """A context manager adding its wall time to stage ``name``."""
@@ -70,6 +93,9 @@ class StageProfiler:
     def _record(self, name: str, seconds: float) -> None:
         self._seconds[name] = self._seconds.get(name, 0.0) + seconds
         self._calls[name] = self._calls.get(name, 0) + 1
+        if name not in self._samples:
+            self._samples[name] = deque(maxlen=_SAMPLE_WINDOW)
+        self._samples[name].append(seconds)
 
     # ------------------------------------------------------------------
     def seconds(self, name: str) -> float:
@@ -80,11 +106,26 @@ class StageProfiler:
         """Sum of all stages' accumulated seconds."""
         return sum(self._seconds.values())
 
-    def report(self) -> Dict[str, Dict[str, float]]:
-        """Per-stage ``{"seconds", "calls", "fraction"}``, insertion-ordered.
+    def percentiles(self, name: str) -> Dict[str, float]:
+        """``{"p50_ms", "p95_ms", "p99_ms"}`` over the stage's recent window.
 
-        ``fraction`` is the stage's share of :meth:`total` (0.0 when no time
-        has been recorded at all).
+        Percentiles are per *activation*, in milliseconds; an unknown stage
+        reads all-zero.
+        """
+        ordered = sorted(self._samples.get(name, ()))
+        return {
+            "p50_ms": 1000.0 * _percentile(ordered, 0.50),
+            "p95_ms": 1000.0 * _percentile(ordered, 0.95),
+            "p99_ms": 1000.0 * _percentile(ordered, 0.99),
+        }
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage totals plus tail latency, insertion-ordered.
+
+        Each entry carries ``seconds`` / ``calls`` / ``fraction`` (the
+        stage's share of :meth:`total`, 0.0 when no time has been recorded
+        at all) and the per-activation ``p50_ms``/``p95_ms``/``p99_ms``
+        percentiles over the stage's recent sample window.
         """
         total = self.total()
         return {
@@ -92,6 +133,7 @@ class StageProfiler:
                 "seconds": self._seconds[name],
                 "calls": self._calls[name],
                 "fraction": self._seconds[name] / total if total > 0 else 0.0,
+                **self.percentiles(name),
             }
             for name in self._seconds
         }
@@ -103,10 +145,13 @@ class StageProfiler:
         )
         return "\n".join(
             f"{name}: {entry['seconds']:.3f}s "
-            f"({100 * entry['fraction']:.1f}%, {entry['calls']} calls)"
+            f"({100 * entry['fraction']:.1f}%, {entry['calls']} calls, "
+            f"p50 {entry['p50_ms']:.2f}ms / p95 {entry['p95_ms']:.2f}ms / "
+            f"p99 {entry['p99_ms']:.2f}ms)"
             for name, entry in report
         )
 
     def reset(self) -> None:
         self._seconds.clear()
         self._calls.clear()
+        self._samples.clear()

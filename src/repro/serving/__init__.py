@@ -10,15 +10,20 @@ for these sources under this relationship" by
 - fetching each relationship's full embedding table **once** per batch
   through an LRU cache (:class:`RelationEmbeddingCache`) instead of
   re-gathering per source,
-- scoring a whole batch as a single matrix multiply against the table, and
-- extracting top-K with ``np.argpartition`` plus a stable tie-break instead
-  of a full argsort — bit-identical list order to the scalar reference
-  paths kept on :class:`repro.core.recommender.Recommender`.
+- routing retrieval through a swappable :class:`VectorIndex` backend —
+  ``exact`` (one matmul against the pool plus a stable top-K extraction,
+  bit-identical list order to the scalar reference paths kept on
+  :class:`repro.core.recommender.Recommender`), or the sub-linear ``ivf``
+  / ``hnsw`` approximate backends (:class:`IVFIndex`, :class:`HNSWIndex`),
+  which prune the candidate *set* but still score surfaced candidates
+  with exact dot products (recall-gated by ``repro verify --suite
+  index``).
 
 Request-level latency/throughput is recorded through
 :class:`repro.perf.StageProfiler` stages (``serving.embeddings``,
-``serving.pool``, ``serving.score``, ``serving.topk``) plus the engine's
-:class:`ServingStats` counters.
+``serving.pool``, ``serving.score``, ``serving.topk``,
+``serving.index_build``, ``serving.index_search``) plus the engine's
+:class:`ServingStats` counters and per-request latency percentiles.
 """
 
 from repro.serving.engine import (
@@ -26,11 +31,29 @@ from repro.serving.engine import (
     RelationEmbeddingCache,
     ServingStats,
 )
+from repro.serving.index import (
+    ExactIndex,
+    HNSWIndex,
+    INDEX_BACKENDS,
+    IVFIndex,
+    VectorIndex,
+    load_index,
+    make_index,
+    save_index,
+)
 from repro.serving.pools import CandidatePools
 
 __all__ = [
     "BatchServingEngine",
     "CandidatePools",
+    "ExactIndex",
+    "HNSWIndex",
+    "INDEX_BACKENDS",
+    "IVFIndex",
     "RelationEmbeddingCache",
     "ServingStats",
+    "VectorIndex",
+    "load_index",
+    "make_index",
+    "save_index",
 ]

@@ -10,48 +10,97 @@ The engine organises the whole hot path around that observation:
 - candidate pools come from :class:`~repro.serving.pools.CandidatePools`
   ascending-id type pools plus a CSR exclusion scatter (``serving.pool``),
   not per-source Python sets;
-- a source block is scored as a single ``sources @ table[pool].T`` matmul
-  over the target type's rows only (``serving.score``);
-- top-K is extracted with ``np.argpartition`` plus an explicit stable
-  tie-break (``serving.topk``) rather than a full argsort, reproducing
-  ``np.argsort(-scores, kind="stable")[:k]`` bit-identically — descending
-  score, ascending node id among exact ties, lowest ids win boundary ties.
+- retrieval routes through a swappable :class:`~repro.serving.index`
+  backend: ``exact`` keeps the original blocked
+  ``sources @ table[pool].T`` matmul (``serving.score``) with stable top-K
+  extraction (``serving.topk``), bit-identical to the scalar reference;
+  ``ivf`` and ``hnsw`` prune the candidate set sub-linearly
+  (``serving.index_build`` / ``serving.index_search`` stages) while still
+  scoring surfaced candidates with exact dot products.
+
+Approximate backends fall back to the exact path — counted in
+``ServingStats.exact_fallbacks`` — when a pool is smaller than
+``min_index_size``, when a cached index went stale under
+``on_stale="exact"``, and always for :meth:`BatchServingEngine.rank_all`
+(a full ordering cannot be pruned).
 
 The scalar pre-engine implementations survive as ``_reference_*`` methods
 on :class:`repro.core.recommender.Recommender` and are compared against the
 engine by the ``serving`` differential oracles in
-:mod:`repro.verify.oracles`.
+:mod:`repro.verify.oracles`; approximate backends are recall-gated by the
+``index`` oracle suite.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.errors import EvaluationError
-from repro.perf import StageProfiler
+from repro.perf import StageProfiler, Timer
+from repro.serving.index import (
+    VectorIndex,
+    _stable_topk,
+    _stable_topk_block,
+    _stable_topk_ids,
+    make_index,
+    save_index,
+    load_index,
+)
 from repro.serving.pools import CandidatePools
+
+__all__ = [
+    "BatchServingEngine",
+    "RelationEmbeddingCache",
+    "ServingStats",
+]
 
 _EMPTY_IDS = np.empty(0, dtype=np.int64)
 _EMPTY_SCORES = np.empty(0, dtype=np.float64)
 
+# Per-request latency samples kept for percentile estimation; old samples
+# roll off so a long-lived engine reports recent behavior, not its cold
+# start forever.
+_LATENCY_WINDOW = 65536
+
+
+def _percentiles(samples: Sequence[float]) -> Dict[str, float]:
+    """p50/p95/p99 (milliseconds) of a latency sample window."""
+    if not samples:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    arr = np.asarray(samples, dtype=np.float64) * 1000.0
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
 
 @dataclass
 class ServingStats:
-    """Request-level throughput counters (latency lives in the profiler)."""
+    """Request-level throughput counters and latency percentiles."""
 
     requests: int = 0           # engine entry points served
     sources: int = 0            # source nodes served across all requests
     candidates_scored: int = 0  # candidate pool rows ranked
+    index_builds: int = 0       # ANN index (re)builds, including rebuilds
+    exact_fallbacks: int = 0    # sources served exactly despite an ANN backend
+    latencies: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=_LATENCY_WINDOW), repr=False
+    )
 
-    def to_dict(self) -> Dict[str, int]:
+    def record_latency(self, seconds: float) -> None:
+        self.latencies.append(seconds)
+
+    def to_dict(self) -> Dict[str, object]:
         return {
             "requests": self.requests,
             "sources": self.sources,
             "candidates_scored": self.candidates_scored,
+            "index_builds": self.index_builds,
+            "exact_fallbacks": self.exact_fallbacks,
+            "latency_ms": _percentiles(self.latencies),
         }
 
 
@@ -61,6 +110,12 @@ class RelationEmbeddingCache:
     One ``model.node_embeddings(arange(num_nodes), relation)`` call per
     cached relation — the fix for the ``recommend_batch`` refetch bug.  Row
     norms (for cosine similarity) are cached alongside each table.
+
+    Each fetch-on-miss bumps the relation's **version**; anything derived
+    from a table (the engine's ANN indexes) records the version it was
+    built against and treats a mismatch as staleness.  Explicit
+    :meth:`invalidate` calls and LRU evictions notify registered listeners
+    so derived state is dropped eagerly, not discovered stale later.
     """
 
     def __init__(self, model, num_nodes: int, capacity: int = 4):
@@ -69,6 +124,9 @@ class RelationEmbeddingCache:
         self.capacity = max(1, int(capacity))
         self._tables: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._norms: Dict[str, np.ndarray] = {}
+        self._versions: Dict[str, int] = {}
+        self._version_clock = 0
+        self._listeners: List[Callable[[str], None]] = []
         self.hits = 0
         self.misses = 0
 
@@ -89,9 +147,12 @@ class RelationEmbeddingCache:
 
         verify_table(table, self.num_nodes, relation)
         self._tables[relation] = table
+        self._version_clock += 1
+        self._versions[relation] = self._version_clock
         while len(self._tables) > self.capacity:
             evicted, _ = self._tables.popitem(last=False)
             self._norms.pop(evicted, None)
+            self._notify(evicted)
         return table
 
     def norms(self, relation: str) -> np.ndarray:
@@ -100,82 +161,39 @@ class RelationEmbeddingCache:
             self._norms[relation] = np.linalg.norm(self.table(relation), axis=1)
         return self._norms[relation]
 
+    def version(self, relation: str) -> int:
+        """Monotonic fetch counter for ``relation`` (0 = never fetched).
+
+        The version identifies *which* table snapshot is resident: a
+        re-fetch after invalidation or eviction yields a new version even
+        if the model's parameters did not change.
+        """
+        return self._versions.get(relation, 0)
+
+    def invalidate(self, relation: Optional[str] = None) -> None:
+        """Drop cached table(s) so the next access re-fetches from the model.
+
+        With ``relation=None`` everything is dropped.  Listeners are
+        notified per dropped relation (the engine uses this to retire
+        derived ANN indexes).
+        """
+        targets = [relation] if relation is not None else list(self._tables)
+        for name in targets:
+            self._tables.pop(name, None)
+            self._norms.pop(name, None)
+            self._notify(name)
+
+    def add_invalidation_listener(self, listener: Callable[[str], None]) -> None:
+        """Register ``listener(relation)`` for invalidations and evictions."""
+        self._listeners.append(listener)
+
+    def _notify(self, relation: str) -> None:
+        for listener in self._listeners:
+            listener(relation)
+
     @property
     def cached_relations(self) -> List[str]:
         return list(self._tables)
-
-
-def _stable_topk(scores: np.ndarray, valid: np.ndarray,
-                 k: int) -> Tuple[np.ndarray, np.ndarray]:
-    """Top-``k`` valid indices, ordered exactly like the scalar reference.
-
-    Reproduces ``pool[np.argsort(-scores[pool], kind="stable")[:k]]`` for
-    ``pool = np.flatnonzero(valid)`` without sorting the whole pool:
-    ``argpartition`` isolates the top block, boundary ties are resolved
-    toward the lowest node ids (what a stable sort does), and only the
-    k candidates are ordered.
-    """
-    num_valid = int(np.count_nonzero(valid))
-    if num_valid == 0:
-        return _EMPTY_IDS, _EMPTY_SCORES
-    take = min(k, num_valid)
-    if take == num_valid:
-        chosen = np.flatnonzero(valid)
-    else:
-        masked = np.where(valid, scores, -np.inf)
-        cutoff = len(masked) - take
-        kth_value = masked[np.argpartition(masked, cutoff)[cutoff:]].min()
-        above = np.flatnonzero(masked > kth_value)
-        ties = np.flatnonzero(valid & (scores == kth_value))
-        chosen = np.concatenate([above, ties[: take - len(above)]])
-    # Descending score; ascending node id among exact ties (stable order).
-    order = np.lexsort((chosen, -scores[chosen]))
-    top = chosen[order[:take]]
-    return top, scores[top]
-
-
-def _stable_topk_block(scores: np.ndarray, valid: Optional[np.ndarray],
-                       k: int) -> List[Tuple[np.ndarray, np.ndarray]]:
-    """Row-wise :func:`_stable_topk` of a (block, width) score matrix.
-
-    ``valid=None`` means the caller already scattered ``-inf`` over the
-    excluded columns of ``scores`` (the hot path does this in place on the
-    matmul output, skipping a boolean matrix entirely).
-
-    The common case is handled in one vectorised pass: when exactly ``k``
-    entries of a row sit at-or-above its k-th largest value, the top-K
-    *set* is unique, so a row-wise ``partition`` for the cutoff plus one
-    ``>=`` mask selects it; ``np.nonzero`` yields columns in ascending
-    order, which a final stable argsort by descending score turns into
-    exactly the reference order.  Rows where the cutoff value is tied
-    across the boundary (or pools smaller than ``k``) fall back to the
-    scalar helper, which resolves boundary ties toward the lowest ids.
-    """
-    block, width = scores.shape
-    out: List[Tuple[np.ndarray, np.ndarray]] = [None] * block
-    easy = np.empty(0, dtype=np.int64)
-    if k < width:
-        masked = scores if valid is None else np.where(valid, scores, -np.inf)
-        cut = width - k
-        kth = np.partition(masked, cut, axis=1)[:, cut:cut + 1]
-        at_or_above = masked >= kth
-        counts = np.count_nonzero(at_or_above, axis=1)
-        easy = np.flatnonzero((counts == k) & (kth[:, 0] > -np.inf))
-    if len(easy):
-        cols = np.nonzero(at_or_above[easy])[1].reshape(len(easy), k)
-        chosen = np.take_along_axis(masked[easy], cols, axis=1)
-        order = np.argsort(-chosen, axis=1, kind="stable")
-        top = np.take_along_axis(cols, order, axis=1)
-        top_scores = np.take_along_axis(chosen, order, axis=1)
-        for j, row in enumerate(easy.tolist()):
-            out[row] = (top[j], top_scores[j])
-    for row in range(block):
-        if out[row] is None:
-            if valid is None:
-                out[row] = _stable_topk(scores[row], scores[row] > -np.inf, k)
-            else:
-                out[row] = _stable_topk(scores[row], valid[row], k)
-    return out
 
 
 class BatchServingEngine:
@@ -195,11 +213,35 @@ class BatchServingEngine:
     profiler:
         Optional shared :class:`StageProfiler`; a private one is created
         when omitted.
+    index:
+        Retrieval backend: ``"exact"`` (default; bit-identical brute
+        force), ``"ivf"`` or ``"hnsw"`` (sub-linear, recall-gated by the
+        ``index`` oracle suite).
+    index_params:
+        Backend construction parameters (``nprobe``, ``ef_search``,
+        ``seed``, ...); keys a backend doesn't take are ignored, so one
+        flat dict can configure any backend.
+    min_index_size:
+        Pools smaller than this are always served exactly — index
+        overhead only pays off at scale, and tiny pools are where
+        cold-start nodes live.
+    on_stale:
+        What to do when a cached index no longer matches the live table:
+        ``"rebuild"`` (default) rebuilds it, ``"exact"`` serves the
+        request exactly and leaves rebuilding to the next explicit build.
     """
 
     def __init__(self, model, graph, *, cache_capacity: int = 4,
                  block_size: int = 256,
-                 profiler: Optional[StageProfiler] = None):
+                 profiler: Optional[StageProfiler] = None,
+                 index: str = "exact",
+                 index_params: Optional[Dict[str, object]] = None,
+                 min_index_size: int = 32,
+                 on_stale: str = "rebuild"):
+        if on_stale not in ("rebuild", "exact"):
+            raise EvaluationError(
+                f"on_stale must be 'rebuild' or 'exact', got {on_stale!r}"
+            )
         self.model = model
         self.graph = graph
         self.pools = CandidatePools(graph)
@@ -209,6 +251,68 @@ class BatchServingEngine:
         self.block_size = max(1, int(block_size))
         self.profiler = profiler if profiler is not None else StageProfiler()
         self.stats = ServingStats()
+        self.index_backend = index
+        self.index_params = dict(index_params or {})
+        self.min_index_size = max(0, int(min_index_size))
+        self.on_stale = on_stale
+        # Fail fast on unknown backends (make_index validates the name).
+        make_index(index, **self.index_params)
+        # (relation, target_type, metric) -> (index, table_version, pool_len)
+        self._indexes: Dict[
+            Tuple[str, str, str], Tuple[VectorIndex, int, int]
+        ] = {}
+        self.cache.add_invalidation_listener(self._drop_indexes_for)
+
+    # ------------------------------------------------------------------
+    # Index lifecycle
+    # ------------------------------------------------------------------
+    def _drop_indexes_for(self, relation: str) -> None:
+        for key in [key for key in self._indexes if key[0] == relation]:
+            del self._indexes[key]
+
+    def _build_index(self, relation: str, target_type: str, metric: str,
+                     table: np.ndarray, pool: np.ndarray) -> VectorIndex:
+        with self.profiler.stage("serving.index_build"):
+            vectors = table[pool]
+            if metric == "cosine":
+                norms = self.cache.norms(relation)
+                vectors = vectors / np.maximum(norms[pool], 1e-12)[:, None]
+            index = make_index(self.index_backend, **self.index_params)
+            index.build(vectors)
+        self.stats.index_builds += 1
+        self._indexes[(relation, target_type, metric)] = (
+            index, self.cache.version(relation), len(pool)
+        )
+        return index
+
+    def _index_for(self, relation: str, target_type: str, metric: str,
+                   table: np.ndarray, pool: np.ndarray
+                   ) -> Optional[VectorIndex]:
+        """The live index for a (relation, pool) pair, or ``None`` for exact.
+
+        ``None`` sends the caller down the original brute-force path —
+        always for the ``exact`` backend, for pools under
+        ``min_index_size``, and for stale entries under
+        ``on_stale="exact"``.  Callers must have fetched ``table`` from
+        the cache *before* calling (the fetch is what assigns the version
+        this index is validated against).
+        """
+        if self.index_backend == "exact":
+            return None
+        if len(pool) < self.min_index_size:
+            return None
+        key = (relation, target_type, metric)
+        entry = self._indexes.get(key)
+        if entry is not None:
+            index, version, pool_len = entry
+            if version == self.cache.version(relation) and pool_len == len(pool):
+                return index
+            # Stale: the table was re-fetched (or the pool changed) since
+            # this index was built.
+            del self._indexes[key]
+            if self.on_stale == "exact":
+                return None
+        return self._build_index(relation, target_type, metric, table, pool)
 
     # ------------------------------------------------------------------
     # Core batched top-K
@@ -228,21 +332,23 @@ class BatchServingEngine:
         sources = np.asarray(sources, dtype=np.int64)
         self.stats.requests += 1
         self.stats.sources += len(sources)
-        results: List[Tuple[np.ndarray, np.ndarray]] = (
-            [(_EMPTY_IDS, _EMPTY_SCORES)] * len(sources)
-        )
-        for ttype, positions in self._group_by_target(
-            sources, relation, target_type
-        ).items():
-            if ttype is None:
-                continue  # cold and unresolvable: empty result, never a crash
-            group = sources[positions]
-            for start in range(0, len(group), self.block_size):
-                block = slice(start, start + self.block_size)
-                for offset, item in enumerate(self._topk_block(
-                    group[block], relation, k, ttype, exclude_known
-                )):
-                    results[positions[start + offset]] = item
+        with Timer() as timer:
+            results: List[Tuple[np.ndarray, np.ndarray]] = (
+                [(_EMPTY_IDS, _EMPTY_SCORES)] * len(sources)
+            )
+            for ttype, positions in self._group_by_target(
+                sources, relation, target_type
+            ).items():
+                if ttype is None:
+                    continue  # cold and unresolvable: empty result, no crash
+                group = sources[positions]
+                for start in range(0, len(group), self.block_size):
+                    block = slice(start, start + self.block_size)
+                    for offset, item in enumerate(self._topk_block(
+                        group[block], relation, k, ttype, exclude_known
+                    )):
+                        results[positions[start + offset]] = item
+        self.stats.record_latency(timer.elapsed)
         return results
 
     def _group_by_target(self, sources: np.ndarray, relation: str,
@@ -271,6 +377,21 @@ class BatchServingEngine:
             for ttype, positions in groups.items()
         }
 
+    @staticmethod
+    def _exclusion_lists(rows: np.ndarray, cols: np.ndarray,
+                         block_len: int) -> List[Optional[np.ndarray]]:
+        """Regroup scatter pairs into one exclusion array per block row."""
+        if len(rows) == 0:
+            return [None] * block_len
+        order = np.argsort(rows, kind="stable")
+        sorted_rows, sorted_cols = rows[order], cols[order]
+        bounds = np.searchsorted(sorted_rows, np.arange(block_len + 1))
+        return [
+            sorted_cols[bounds[j]:bounds[j + 1]]
+            if bounds[j + 1] > bounds[j] else None
+            for j in range(block_len)
+        ]
+
     def _topk_block(self, block: np.ndarray, relation: str, k: int,
                     target_type: str, exclude_known: bool
                     ) -> List[Tuple[np.ndarray, np.ndarray]]:
@@ -282,6 +403,17 @@ class BatchServingEngine:
             return [(_EMPTY_IDS, _EMPTY_SCORES)] * len(block)
         with self.profiler.stage("serving.embeddings"):
             table = self.cache.table(relation)
+        index = self._index_for(relation, target_type, "ip", table, pool)
+        if index is not None:
+            with self.profiler.stage("serving.index_search"):
+                found = index.search(
+                    table[block], k,
+                    exclude=self._exclusion_lists(rows, cols, len(block)),
+                )
+            self.stats.candidates_scored += index.last_candidates
+            return [(pool[positions], scores) for positions, scores in found]
+        if self.index_backend != "exact":
+            self.stats.exact_fallbacks += len(block)
         with self.profiler.stage("serving.score"):
             if len(block) == 1:
                 # dgemv then gather keeps scalar requests bit-identical to
@@ -335,34 +467,78 @@ class BatchServingEngine:
     # ------------------------------------------------------------------
     def similar_topk(self, nodes: Sequence[int], relation: str, k: int
                      ) -> List[Tuple[np.ndarray, np.ndarray]]:
-        """Per-node ``(ids, cosine_scores)`` over same-typed candidates."""
+        """Per-node ``(ids, cosine_scores)`` over same-typed candidates.
+
+        With an approximate backend, candidates are retrieved from a
+        cosine index (the pool's vectors normalised at build time) and
+        their reported scores are then **recomputed with the reference
+        cosine formula**, so only the candidate set is approximate.
+        """
         if k <= 0:
             raise EvaluationError(f"k must be positive, got {k}")
         nodes = np.asarray(nodes, dtype=np.int64)
         self.stats.requests += 1
         self.stats.sources += len(nodes)
-        with self.profiler.stage("serving.embeddings"):
-            table = self.cache.table(relation)
-            norms = self.cache.norms(relation)
-        results: List[Tuple[np.ndarray, np.ndarray]] = []
-        for node in nodes.tolist():
-            node_type = self.graph.node_type(node)
-            with self.profiler.stage("serving.pool"):
-                pool = self.pools.type_pool(node_type)
-                valid = np.ones(len(pool), dtype=bool)
-                valid[self.pools.pool_positions(node_type)[node]] = False
-            with self.profiler.stage("serving.score"):
-                # The probe's norm is taken over its 1-D row (not the cached
-                # axis=1 reduction): np.linalg.norm accumulates the two
-                # differently, and the reference uses the vector form.
-                scores = (table @ table[node])[pool] / np.maximum(
-                    norms[pool] * np.linalg.norm(table[node]), 1e-12
+        with Timer() as timer:
+            with self.profiler.stage("serving.embeddings"):
+                table = self.cache.table(relation)
+                norms = self.cache.norms(relation)
+            results: List[Tuple[np.ndarray, np.ndarray]] = []
+            for node in nodes.tolist():
+                node_type = self.graph.node_type(node)
+                with self.profiler.stage("serving.pool"):
+                    pool = self.pools.type_pool(node_type)
+                    own = self.pools.pool_positions(node_type)[node]
+                index = self._index_for(
+                    relation, node_type, "cosine", table, pool
                 )
-            self.stats.candidates_scored += int(valid.sum())
-            with self.profiler.stage("serving.topk"):
-                ids, top_scores = _stable_topk(scores, valid, k)
-                results.append((pool[ids], top_scores))
+                if index is not None:
+                    results.append(self._similar_via_index(
+                        index, table, norms, pool, node, own, k
+                    ))
+                    continue
+                if self.index_backend != "exact":
+                    self.stats.exact_fallbacks += 1
+                with self.profiler.stage("serving.pool"):
+                    valid = np.ones(len(pool), dtype=bool)
+                    valid[own] = False
+                with self.profiler.stage("serving.score"):
+                    # The probe's norm is taken over its 1-D row (not the
+                    # cached axis=1 reduction): np.linalg.norm accumulates
+                    # the two differently, and the reference uses the
+                    # vector form.
+                    scores = (table @ table[node])[pool] / np.maximum(
+                        norms[pool] * np.linalg.norm(table[node]), 1e-12
+                    )
+                self.stats.candidates_scored += int(valid.sum())
+                with self.profiler.stage("serving.topk"):
+                    ids, top_scores = _stable_topk(scores, valid, k)
+                    results.append((pool[ids], top_scores))
+        self.stats.record_latency(timer.elapsed)
         return results
+
+    def _similar_via_index(self, index: VectorIndex, table: np.ndarray,
+                           norms: np.ndarray, pool: np.ndarray, node: int,
+                           own: int, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        probe_norm = np.linalg.norm(table[node])
+        query = table[node] / max(probe_norm, 1e-12)
+        exclude = [np.asarray([own], dtype=np.int64)] if own >= 0 else None
+        with self.profiler.stage("serving.index_search"):
+            positions, _ = index.search(query, k, exclude=exclude)[0]
+        self.stats.candidates_scored += index.last_candidates
+        if len(positions) == 0:
+            return _EMPTY_IDS, _EMPTY_SCORES
+        with self.profiler.stage("serving.score"):
+            # Reference cosine formula over the surfaced candidates only;
+            # the normalised index scores decided *which* candidates, not
+            # what the caller sees.
+            candidates = pool[positions]
+            scores = (table[candidates] @ table[node]) / np.maximum(
+                norms[candidates] * probe_norm, 1e-12
+            )
+        with self.profiler.stage("serving.topk"):
+            ids, top_scores = _stable_topk_ids(scores, positions, k)
+        return pool[ids], top_scores
 
     def similar_batch(self, nodes: Sequence[int], relation: str, k: int = 10):
         """Top-``k`` :class:`Recommendation` lists of similar nodes."""
@@ -389,46 +565,143 @@ class BatchServingEngine:
         """Fully ranked candidate pools, one id array per source.
 
         The ranking evaluator needs every source's complete ordering (MRR
-        looks past the top-K), so this path keeps the full stable argsort
-        but still shares the one-fetch table and mask-based pools.  Scores
-        are computed per source as table-level matrix-vector products,
-        which are bit-identical to the scalar reference's gathered dot
-        products.
+        looks past the top-K), so this path is **always exact** — an ANN
+        index prunes candidates, which is incompatible with producing a
+        total order — and keeps the full stable argsort over the one-fetch
+        table and mask-based pools.  Scores are computed per source as
+        table-level matrix-vector products, which are bit-identical to the
+        scalar reference's gathered dot products.
         """
         sources = np.asarray(sources, dtype=np.int64)
         self.stats.requests += 1
         self.stats.sources += len(sources)
+        if self.index_backend != "exact":
+            self.stats.exact_fallbacks += len(sources)
         results: List[np.ndarray] = [_EMPTY_IDS] * len(sources)
-        for ttype, positions in self._group_by_target(
-            sources, relation, target_type
-        ).items():
-            if ttype is None:
-                continue
-            group = sources[positions]
-            with self.profiler.stage("serving.embeddings"):
-                table = self.cache.table(relation)
-            with self.profiler.stage("serving.pool"):
-                pool, valid = self.pools.valid_pool_matrix(
-                    group, relation, ttype, exclude_known
-                )
-            if len(pool) == 0:
-                continue
-            with self.profiler.stage("serving.score"):
-                scores = np.empty((len(group), len(pool)))
-                for j, source in enumerate(group.tolist()):
-                    # dgemv per source: bit-identical to the scalar
-                    # reference's gathered dot products.
-                    scores[j] = (table @ table[source])[pool]
-            counts = np.count_nonzero(valid, axis=1)
-            self.stats.candidates_scored += int(counts.sum())
-            with self.profiler.stage("serving.topk"):
-                keys = np.where(valid, -scores, np.inf)
-                orders = np.argsort(keys, axis=1, kind="stable")
-                for j, count in enumerate(counts.tolist()):
-                    results[positions[j]] = pool[orders[j, :count]]
+        with Timer() as timer:
+            for ttype, positions in self._group_by_target(
+                sources, relation, target_type
+            ).items():
+                if ttype is None:
+                    continue
+                group = sources[positions]
+                with self.profiler.stage("serving.embeddings"):
+                    table = self.cache.table(relation)
+                with self.profiler.stage("serving.pool"):
+                    pool, valid = self.pools.valid_pool_matrix(
+                        group, relation, ttype, exclude_known
+                    )
+                if len(pool) == 0:
+                    continue
+                with self.profiler.stage("serving.score"):
+                    scores = np.empty((len(group), len(pool)))
+                    for j, source in enumerate(group.tolist()):
+                        # dgemv per source: bit-identical to the scalar
+                        # reference's gathered dot products.
+                        scores[j] = (table @ table[source])[pool]
+                counts = np.count_nonzero(valid, axis=1)
+                self.stats.candidates_scored += int(counts.sum())
+                with self.profiler.stage("serving.topk"):
+                    keys = np.where(valid, -scores, np.inf)
+                    orders = np.argsort(keys, axis=1, kind="stable")
+                    for j, count in enumerate(counts.tolist()):
+                        results[positions[j]] = pool[orders[j, :count]]
+        self.stats.record_latency(timer.elapsed)
         return results
 
     # ------------------------------------------------------------------
+    # Index persistence
+    # ------------------------------------------------------------------
+    def export_index(self, path: Union[str, Path], relation: str,
+                     target_type: str, metric: str = "ip") -> Path:
+        """Persist the (relation, target_type) index next to a checkpoint.
+
+        Builds the index first if it isn't resident (also for the
+        ``exact`` backend, where the brute-force oracle is what gets
+        persisted).  The written file carries enough metadata for
+        :meth:`import_index` — and ``repro check-model`` — to validate it
+        against a live engine before use.
+        """
+        with self.profiler.stage("serving.embeddings"):
+            table = self.cache.table(relation)
+        pool = self.pools.type_pool(target_type)
+        key = (relation, target_type, metric)
+        entry = self._indexes.get(key)
+        if (entry is not None
+                and entry[1] == self.cache.version(relation)
+                and entry[2] == len(pool)):
+            index = entry[0]
+        elif self.index_backend == "exact":
+            with self.profiler.stage("serving.index_build"):
+                vectors = table[pool]
+                if metric == "cosine":
+                    norms = self.cache.norms(relation)
+                    vectors = vectors / np.maximum(
+                        norms[pool], 1e-12
+                    )[:, None]
+                index = make_index("exact", **self.index_params)
+                index.build(vectors)
+            self.stats.index_builds += 1
+        else:
+            index = self._build_index(relation, target_type, metric,
+                                      table, pool)
+        return save_index(index, path, extra_meta={
+            "relation": relation,
+            "target_type": target_type,
+            "metric": metric,
+            "pool_size": int(len(pool)),
+            "table_dim": int(table.shape[1]),
+        })
+
+    def import_index(self, path: Union[str, Path]) -> VectorIndex:
+        """Load a persisted index and attach it to the live engine.
+
+        The file's metadata is validated against the current table and
+        pool (``repro.check.state.verify_index``, C007): a stale or
+        shape-mismatched index raises instead of silently serving wrong
+        candidates.  The loaded index is pinned to the relation's current
+        cache version.
+        """
+        index, meta = load_index(path)
+        relation = meta.get("relation")
+        target_type = meta.get("target_type")
+        metric = meta.get("metric", "ip")
+        with self.profiler.stage("serving.embeddings"):
+            table = self.cache.table(relation)
+        pool = self.pools.type_pool(target_type)
+        from repro.check.state import verify_index
+
+        verify_index(meta, index, table, pool, source=str(path))
+        self._indexes[(relation, target_type, metric)] = (
+            index, self.cache.version(relation), len(pool)
+        )
+        return index
+
+    # ------------------------------------------------------------------
+    def index_report(self) -> Dict[str, object]:
+        """Backend configuration plus every resident index entry."""
+        return {
+            "backend": self.index_backend,
+            "params": dict(self.index_params),
+            "min_index_size": self.min_index_size,
+            "on_stale": self.on_stale,
+            "entries": [
+                {
+                    "relation": relation,
+                    "target_type": target_type,
+                    "metric": metric,
+                    "size": index.size,
+                    "table_version": version,
+                }
+                for (relation, target_type, metric), (index, version, _)
+                in self._indexes.items()
+            ],
+        }
+
     def latency_report(self) -> Dict[str, object]:
         """Counters plus per-stage wall time for dashboards/logs."""
-        return {**self.stats.to_dict(), "stages": self.profiler.report()}
+        return {
+            **self.stats.to_dict(),
+            "index": self.index_report(),
+            "stages": self.profiler.report(),
+        }

@@ -40,11 +40,14 @@ from repro.verify.gradcheck import (
 )
 from repro.verify.oracles import (
     OracleResult,
+    RECALL_TOLERANCE,
     format_oracle_table,
+    index_oracles,
     metric_oracles,
     model_oracles,
     run_oracle_suite,
     sampling_oracles,
+    serving_oracles,
 )
 
 __all__ = [
@@ -62,11 +65,14 @@ __all__ = [
     "run_gradcheck_suite",
     "uncovered_targets",
     "OracleResult",
+    "RECALL_TOLERANCE",
     "format_oracle_table",
+    "index_oracles",
     "metric_oracles",
     "model_oracles",
     "run_oracle_suite",
     "sampling_oracles",
+    "serving_oracles",
     "GOLDEN_MODELS",
     "GoldenCheck",
     "GoldenEntry",

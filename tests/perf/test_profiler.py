@@ -47,12 +47,29 @@ class TestStageProfiler:
     def test_unknown_stage_reads_zero(self):
         assert StageProfiler().seconds("never") == 0.0
 
+    def test_percentiles_in_report(self):
+        profiler = StageProfiler()
+        for _ in range(20):
+            with profiler.stage("serve"):
+                time.sleep(0.001)
+        entry = profiler.report()["serve"]
+        assert 0.0 < entry["p50_ms"] <= entry["p95_ms"] <= entry["p99_ms"]
+        assert profiler.percentiles("serve")["p50_ms"] == entry["p50_ms"]
+
+    def test_percentiles_of_unknown_stage_read_zero(self):
+        assert StageProfiler().percentiles("never") == {
+            "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+        }
+
     def test_reset_clears(self):
         profiler = StageProfiler()
         with profiler.stage("a"):
             pass
         profiler.reset()
         assert profiler.report() == {}
+        assert profiler.percentiles("a") == {
+            "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+        }
 
     def test_summary_mentions_stages(self):
         profiler = StageProfiler()
