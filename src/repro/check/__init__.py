@@ -30,9 +30,11 @@ from repro.check.runner import CHECKABLE_MODELS, check_model
 from repro.check.selftest import build_miswired_report, build_stock_report, run_self_test
 from repro.check.spec import BroadcastEvent, Dim, ShapeSpec, TensorSpec
 from repro.check.state import (
+    delta_findings,
     index_findings,
     state_dict_findings,
     table_findings,
+    verify_delta_view,
     verify_index,
     verify_state_dict,
     verify_table,
@@ -66,6 +68,7 @@ __all__ = [
     "build_miswired_report",
     "build_stock_report",
     "check_model",
+    "delta_findings",
     "format_json",
     "format_text",
     "format_transfer_table",
@@ -79,6 +82,7 @@ __all__ = [
     "trace",
     "transfer_rule",
     "uncovered_transfer_rules",
+    "verify_delta_view",
     "verify_index",
     "verify_state_dict",
     "verify_table",

@@ -15,6 +15,8 @@ C005   warning   parameter unreachable from the loss (no gradient path);
                  reported as info when exempted by the model
 C006   warning   dead subgraph (op results that never reach the loss)
 C007   error     state/checkpoint mismatch against the model's parameters
+C008   error     streaming delta view's merged CSR drifted from a
+                 from-scratch rebuild (bit-identity broken)
 =====  ========  ==========================================================
 
 ``--strict`` escalates warnings to failures; ``info`` findings never

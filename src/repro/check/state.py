@@ -1,4 +1,4 @@
-"""State-dict and serving-table validation (finding code C007).
+"""State-dict and serving-state validation (finding codes C007/C008).
 
 The same expected-vs-found spec rendering the abstract interpreter uses
 for ops is applied to *loaded state*: checkpoint dicts are validated
@@ -20,9 +20,11 @@ from repro.check.spec import ShapeSpec, TensorSpec
 from repro.errors import CheckError
 
 __all__ = [
+    "delta_findings",
     "index_findings",
     "state_dict_findings",
     "table_findings",
+    "verify_delta_view",
     "verify_index",
     "verify_state_dict",
     "verify_table",
@@ -232,5 +234,66 @@ def verify_index(meta: Mapping[str, Any], index: Any, table: Any, pool: Any,
         raise CheckError(
             f"{source} failed the serving-state check "
             f"({len(findings)} C007 finding(s)): "
+            + "; ".join(f.message for f in findings)
+        )
+
+
+def delta_findings(view: Any) -> List[CheckFinding]:
+    """C008 findings: a delta view's merged CSR drifted from a rebuild.
+
+    The streaming layer's whole correctness story is that
+    :meth:`repro.serving.deltas.DeltaGraphView.csr` is **bit-identical** to
+    rebuilding the graph from scratch over the full (base + delta) edge
+    list.  This check recomputes that rebuild independently for every
+    relation — the same drift the ``service`` oracle suite gates on a
+    seeded stream, available here as a point-in-time audit of a live view
+    (the service test suite runs it at every compaction boundary).
+    """
+    from repro.graph.multiplex import MultiplexHeteroGraph
+
+    findings: List[CheckFinding] = []
+    num_nodes = view.num_nodes
+    declared = len(view.node_type_codes)
+    if declared != num_nodes:
+        findings.append(CheckFinding(
+            code="C008",
+            severity="error",
+            message=(
+                f"delta view node-type codes cover {declared} nodes but the "
+                f"view reports num_nodes={num_nodes}"
+            ),
+            param="node_type_codes",
+        ))
+        return findings
+    for relation in view.schema.relationships:
+        src, dst = view.edges(relation)
+        expected = MultiplexHeteroGraph._build_csr(num_nodes, src, dst)
+        served = view.csr(relation)
+        for part, name in ((0, "indptr"), (1, "indices")):
+            if not np.array_equal(served[part], expected[part]):
+                findings.append(CheckFinding(
+                    code="C008",
+                    severity="error",
+                    message=(
+                        f"merged CSR for relation {relation!r} drifted from "
+                        f"a from-scratch rebuild: {name} differs "
+                        f"(served {_spec_of(served[part])}, rebuild "
+                        f"{_spec_of(expected[part])}; "
+                        f"{len(view._delta(relation))} pending delta edges, "
+                        f"{view.pending_nodes} pending nodes)"
+                    ),
+                    param=relation,
+                ))
+                break
+    return findings
+
+
+def verify_delta_view(view: Any, source: str = "delta view") -> None:
+    """Raise :class:`CheckError` when a delta view fails the C008 audit."""
+    findings = delta_findings(view)
+    if findings:
+        raise CheckError(
+            f"{source} failed the delta/CSR drift check "
+            f"({len(findings)} C008 finding(s)): "
             + "; ".join(f.message for f in findings)
         )

@@ -15,6 +15,11 @@ Commands
     engine in :mod:`repro.serving`); ``--index ivf|hnsw`` (with
     ``--nprobe`` / ``--ef-search``) swaps in a sub-linear approximate
     retrieval backend.
+``serve-sim``
+    Simulate mixed live traffic (recommend/similar reads interleaved with
+    feedback writes, including cold-start nodes) against the online
+    :class:`repro.serving.RecommendService` and print per-endpoint latency
+    percentiles plus ingestion/compaction counters.
 ``schemes``
     Enumerate/suggest metapath schemes for a dataset-alike.
 ``table`` / ``figure``
@@ -185,6 +190,72 @@ def cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_sim(args: argparse.Namespace) -> int:
+    """Drive the online service with a seeded mixed read/write trace."""
+    import json
+
+    from repro.serving import RecommendService, ServiceConfig
+    from repro.serving.traffic import generate_trace, replay_trace
+    from repro.utils.rng import as_rng
+
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    graph = dataset.graph
+    if args.embeddings:
+        store = load_embeddings(args.embeddings)
+    else:
+        # No export given: serve seeded random tables (traffic-shape runs).
+        from repro.core.persistence import EmbeddingStore
+
+        rng = as_rng((args.seed, 2026))
+        store = EmbeddingStore({
+            rel: rng.standard_normal((graph.num_nodes, args.dim))
+            for rel in graph.schema.relationships
+        })
+    config = ServiceConfig(
+        max_batch=args.max_batch,
+        flush_interval=args.flush_interval,
+        max_queue=args.max_queue,
+        compaction_threshold=args.compaction_threshold,
+        default_k=args.k,
+    )
+    service = RecommendService(store, graph, config=config)
+    trace = generate_trace(
+        graph, args.ops, seed=args.seed,
+        read_fraction=args.read_fraction,
+        new_node_rate=args.new_node_rate, k=args.k,
+    )
+    print(f"replaying {len(trace)} ops on {args.dataset} "
+          f"(|V|={graph.num_nodes}, |E|={graph.num_edges}) ...")
+    summary = replay_trace(service, trace)
+    report = service.stats_report()
+    rows = []
+    for endpoint, stats in report["endpoints"].items():
+        latency = stats["latency_ms"]
+        rows.append([
+            endpoint, stats["requests"], stats["batches"], stats["rejected"],
+            latency["p50"], latency["p95"], latency["p99"],
+        ])
+    print(format_table(
+        ["Endpoint", "Requests", "Batches", "Rejected",
+         "p50 ms", "p95 ms", "p99 ms"],
+        rows, title="Per-endpoint service latency", float_fmt="{:.3f}",
+    ))
+    ingestion = report["ingestion"]
+    print(
+        f"ingested {ingestion['edges_ingested']} edges, "
+        f"{ingestion['nodes_ingested']} cold-start nodes, "
+        f"{ingestion['compactions']} compactions "
+        f"({ingestion['duplicates_dropped']} duplicates dropped); "
+        f"result digest {summary['digest'][:16]}..."
+    )
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump({"summary": summary, "report": report}, handle,
+                      indent=2, default=str)
+        print(f"report written to {args.report}")
+    return 0
+
+
 def cmd_schemes(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     relation = args.relation or dataset.graph.schema.relationships[0]
@@ -206,7 +277,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
     from repro import verify as verify_mod
 
     suites = (
-        ["gradcheck", "oracles", "index", "transfer", "golden"]
+        ["gradcheck", "oracles", "index", "service", "transfer", "golden"]
         if args.suite == "all"
         else [args.suite]
     )
@@ -250,6 +321,12 @@ def cmd_verify(args: argparse.Namespace) -> int:
         print(verify_mod.format_oracle_table(results))
         ok &= all(r.passed for r in results)
         report["suites"]["index"] = [r.to_dict() for r in results]
+
+    if "service" in suites:
+        results = verify_mod.service_oracles(seed=args.seed)
+        print(verify_mod.format_oracle_table(results))
+        ok &= all(r.passed for r in results)
+        report["suites"]["service"] = [r.to_dict() for r in results]
 
     if "transfer" in suites:
         # Lazy import: the static checker is not needed by the other suites.
@@ -400,6 +477,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "recall, slower)")
     p.set_defaults(func=cmd_recommend)
 
+    p = sub.add_parser("serve-sim",
+                       help="simulate mixed live traffic on the online service")
+    _add_common_dataset_args(p)
+    p.add_argument("--embeddings", default="",
+                   help="embedding export to serve (seeded random tables "
+                        "when omitted)")
+    p.add_argument("--ops", type=int, default=500,
+                   help="trace length (reads + feedback writes)")
+    p.add_argument("--read-fraction", type=float, default=0.7)
+    p.add_argument("--new-node-rate", type=float, default=0.05,
+                   help="fraction of writes that introduce a cold-start node")
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--dim", type=int, default=16,
+                   help="embedding dim for seeded random tables")
+    p.add_argument("--max-batch", type=int, default=32)
+    p.add_argument("--flush-interval", type=float, default=0.0,
+                   help="micro-batch flush deadline in seconds (0 = "
+                        "synchronous)")
+    p.add_argument("--max-queue", type=int, default=256)
+    p.add_argument("--compaction-threshold", type=int, default=512)
+    p.add_argument("--report", default="", help="path for a JSON report")
+    p.set_defaults(func=cmd_serve_sim)
+
     p = sub.add_parser("schemes", help="suggest metapath schemes")
     _add_common_dataset_args(p)
     p.add_argument("--relation", default="")
@@ -415,7 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("verify", help="run the correctness verification suites")
     p.add_argument("--suite", default="all",
                    choices=["all", "gradcheck", "oracles", "index",
-                            "transfer", "golden"])
+                            "service", "transfer", "golden"])
     p.add_argument("--refresh-golden", action="store_true",
                    help="re-snapshot the golden corpus instead of checking it")
     p.add_argument("--datasets", default="",

@@ -57,6 +57,23 @@ class EvaluationError(ReproError):
     """An evaluation routine received empty or malformed predictions."""
 
 
+class ServiceError(ReproError):
+    """The online serving service received an invalid request.
+
+    Raised by :class:`repro.serving.service.RecommendService` for
+    malformed endpoint arguments (unknown relations, unresolvable
+    cold-start node types, non-positive ``k``).
+    """
+
+
+class QueueFullError(ServiceError):
+    """The service's bounded admission queue rejected a request.
+
+    Backpressure is a *typed* outcome, not a crash: load generators and
+    callers catch this specifically, count it, and retry or shed load.
+    """
+
+
 class DatasetError(ReproError):
     """Dataset generation or splitting was configured inconsistently."""
 

@@ -24,13 +24,31 @@ Request-level latency/throughput is recorded through
 ``serving.pool``, ``serving.score``, ``serving.topk``,
 ``serving.index_build``, ``serving.index_search``) plus the engine's
 :class:`ServingStats` counters and per-request latency percentiles.
+
+On top of the engine sits the *online* layer: :class:`DeltaGraphView`
+(streaming graph ingestion — append-only edge deltas over the frozen CSR,
+merged views bit-identical to a from-scratch rebuild, threshold-driven
+compaction with version-clock cache/index invalidation) and
+:class:`RecommendService` (micro-batched ``recommend`` / ``similar`` /
+``feedback`` endpoints behind a bounded admission queue, with
+per-endpoint latency percentiles and cold-start node handling).  Seeded
+mixed-traffic traces for tests, oracles and benchmarks live in
+:mod:`repro.serving.traffic`.
 """
 
+from repro.serving.deltas import DeltaGraphView, EdgeDeltaBuffer
 from repro.serving.engine import (
     BatchServingEngine,
     RelationEmbeddingCache,
     ServingStats,
 )
+from repro.serving.service import (
+    ColdStartEmbedder,
+    EndpointStats,
+    RecommendService,
+    ServiceConfig,
+)
+from repro.serving.traffic import TraceOp, generate_trace, replay_trace
 from repro.serving.index import (
     ExactIndex,
     HNSWIndex,
@@ -46,14 +64,23 @@ from repro.serving.pools import CandidatePools
 __all__ = [
     "BatchServingEngine",
     "CandidatePools",
+    "ColdStartEmbedder",
+    "DeltaGraphView",
+    "EdgeDeltaBuffer",
+    "EndpointStats",
     "ExactIndex",
     "HNSWIndex",
     "INDEX_BACKENDS",
     "IVFIndex",
+    "RecommendService",
     "RelationEmbeddingCache",
+    "ServiceConfig",
     "ServingStats",
+    "TraceOp",
     "VectorIndex",
+    "generate_trace",
     "load_index",
     "make_index",
+    "replay_trace",
     "save_index",
 ]

@@ -62,9 +62,12 @@ __all__ = [
 _EMPTY_IDS = np.empty(0, dtype=np.int64)
 _EMPTY_SCORES = np.empty(0, dtype=np.float64)
 
-# Per-request latency samples kept for percentile estimation; old samples
-# roll off so a long-lived engine reports recent behavior, not its cold
-# start forever.
+# Default per-request latency sample window for percentile estimation; old
+# samples roll off so a long-lived engine reports recent behavior, not its
+# cold start forever.  The window *size* is configuration, but the sample
+# buffer itself is strictly per-:class:`ServingStats` instance — two engines
+# (or two services) must never share a latency window, or one's traffic
+# pollutes the other's percentiles.
 _LATENCY_WINDOW = 65536
 
 
@@ -79,16 +82,26 @@ def _percentiles(samples: Sequence[float]) -> Dict[str, float]:
 
 @dataclass
 class ServingStats:
-    """Request-level throughput counters and latency percentiles."""
+    """Request-level throughput counters and latency percentiles.
+
+    Each instance owns its latency window outright: the ``window`` size is
+    an instance field (not a shared module-level buffer), so engines and
+    services running side by side in one process keep fully independent
+    percentile estimates.
+    """
 
     requests: int = 0           # engine entry points served
     sources: int = 0            # source nodes served across all requests
     candidates_scored: int = 0  # candidate pool rows ranked
     index_builds: int = 0       # ANN index (re)builds, including rebuilds
     exact_fallbacks: int = 0    # sources served exactly despite an ANN backend
-    latencies: Deque[float] = field(
-        default_factory=lambda: deque(maxlen=_LATENCY_WINDOW), repr=False
-    )
+    window: int = _LATENCY_WINDOW
+    latencies: Optional[Deque[float]] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.window = max(1, int(self.window))
+        if self.latencies is None:
+            self.latencies = deque(maxlen=self.window)
 
     def record_latency(self, seconds: float) -> None:
         self.latencies.append(seconds)
@@ -237,7 +250,8 @@ class BatchServingEngine:
                  index: str = "exact",
                  index_params: Optional[Dict[str, object]] = None,
                  min_index_size: int = 32,
-                 on_stale: str = "rebuild"):
+                 on_stale: str = "rebuild",
+                 latency_window: int = _LATENCY_WINDOW):
         if on_stale not in ("rebuild", "exact"):
             raise EvaluationError(
                 f"on_stale must be 'rebuild' or 'exact', got {on_stale!r}"
@@ -250,7 +264,7 @@ class BatchServingEngine:
         )
         self.block_size = max(1, int(block_size))
         self.profiler = profiler if profiler is not None else StageProfiler()
-        self.stats = ServingStats()
+        self.stats = ServingStats(window=latency_window)
         self.index_backend = index
         self.index_params = dict(index_params or {})
         self.min_index_size = max(0, int(min_index_size))
@@ -269,6 +283,24 @@ class BatchServingEngine:
     def _drop_indexes_for(self, relation: str) -> None:
         for key in [key for key in self._indexes if key[0] == relation]:
             del self._indexes[key]
+
+    def refresh_topology(self) -> None:
+        """Re-derive pool/cache state after the graph's node set changed.
+
+        A streaming :class:`~repro.serving.deltas.DeltaGraphView` grows —
+        cold-start nodes arrive, compaction swaps the base.  Candidate
+        pools precompute per-type masks sized to ``num_nodes`` and the
+        embedding cache validates tables against it, so both must be
+        rebuilt when the topology moves.  Dropping the cached tables
+        notifies listeners, which retires every resident ANN index (the
+        version-clock invalidation the delta layer's compaction contract
+        requires).
+        """
+        self.pools = CandidatePools(self.graph)
+        self.cache.num_nodes = self.graph.num_nodes
+        self.cache.invalidate()
+        # Indexes for never-cached relations are keyed on stale pools too.
+        self._indexes.clear()
 
     def _build_index(self, relation: str, target_type: str, metric: str,
                      table: np.ndarray, pool: np.ndarray) -> VectorIndex:

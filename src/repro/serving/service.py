@@ -1,0 +1,573 @@
+"""The online request layer: micro-batched endpoints over a live graph.
+
+:class:`~repro.serving.engine.BatchServingEngine` is a *library*: callers
+hand it whole batches and a frozen graph.  :class:`RecommendService` is the
+*service* wrapped around it — the in-process equivalent of the
+router/service split a production recommender backend deploys:
+
+- three endpoints: :meth:`~RecommendService.recommend` (top-K under a
+  relationship), :meth:`~RecommendService.similar` (same-typed cosine
+  neighbors) and :meth:`~RecommendService.feedback` (a new interaction,
+  streamed into the graph through
+  :class:`~repro.serving.deltas.DeltaGraphView`);
+- **request micro-batching** behind a **bounded admission queue**:
+  concurrent single-item requests coalesce into one engine call per
+  (endpoint, relation, k, ...) group, flushed when the group reaches
+  ``max_batch`` or the group leader's ``flush_interval`` deadline passes.
+  When ``max_queue`` requests are already pending, admission fails with
+  the typed :class:`~repro.errors.QueueFullError` — backpressure is an
+  outcome callers count, not a crash;
+- **cold-start ingestion**: a feedback naming a never-seen endpoint
+  registers the node first, its type resolved by the schema-level
+  endpoint-type inference (:func:`~repro.serving.pools
+  .relation_endpoint_types`) unless given explicitly, and the node is
+  servable immediately — its embedding rows are padded by
+  :class:`ColdStartEmbedder` until the model learns it;
+- **per-endpoint latency percentiles**: every request records its
+  queue-wait-plus-execution latency into that endpoint's own
+  :class:`EndpointStats` window, and batch flushes / compactions /
+  topology refreshes run under ``service.*``
+  :class:`~repro.perf.StageProfiler` stages, so mixed live traffic shows
+  up per stage exactly like training and batch serving do.
+
+Consistency model: one service-wide execution lock serialises engine
+reads, feedback application and compaction — a read observes either the
+graph before a write batch or after it, never a torn intermediate (the
+``tests/serving/test_service_threads.py`` suite drives this from a thread
+pool).  Between compactions, reads see merged (CSR + delta) views that
+are bit-identical to a from-scratch rebuild; at compaction the engine's
+embedding cache is invalidated, cascading to resident ANN indexes via the
+cache's version-clock listeners.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import QueueFullError, ServiceError
+from repro.perf import StageProfiler
+from repro.serving.deltas import DeltaGraphView
+from repro.serving.engine import BatchServingEngine, _percentiles
+from repro.serving.pools import relation_endpoint_types
+
+__all__ = [
+    "ColdStartEmbedder",
+    "EndpointStats",
+    "RecommendService",
+    "ServiceConfig",
+]
+
+ENDPOINTS = ("recommend", "similar", "feedback")
+
+# Per-endpoint latency sample window (requests). Smaller than the engine's:
+# the service reports *user-perceived* latency, where recent behavior under
+# the current traffic mix is what matters.
+_ENDPOINT_WINDOW = 16384
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of the request layer.
+
+    ``flush_interval=0`` makes every request flush immediately after
+    admission — the synchronous mode used by single-threaded drivers
+    (oracles, trace replays) where waiting for co-batching wastes time.
+    ``compaction_threshold`` is forwarded to the delta view (0 disables
+    automatic folds).
+    """
+
+    max_batch: int = 32
+    flush_interval: float = 0.002
+    max_queue: int = 256
+    compaction_threshold: int = 512
+    default_k: int = 10
+    cold_start: str = "zeros"
+    latency_window: int = _ENDPOINT_WINDOW
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_queue < 1:
+            raise ServiceError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.flush_interval < 0:
+            raise ServiceError(
+                f"flush_interval must be >= 0, got {self.flush_interval}"
+            )
+        if self.cold_start not in ("zeros", "mean"):
+            raise ServiceError(
+                f"cold_start must be 'zeros' or 'mean', got {self.cold_start!r}"
+            )
+
+
+class ColdStartEmbedder:
+    """A ``RelationEmbedder`` view that pads rows for never-trained nodes.
+
+    The underlying model (or :class:`~repro.core.persistence
+    .EmbeddingStore`) knows ``base_num_nodes`` rows; streamed-in nodes get
+    a deterministic fill — zeros (``"zeros"``, scores every candidate
+    identically so top-K falls back to the stable ascending-id order) or
+    the table's column mean (``"mean"``, serves the "average taste"
+    recommendation until real training data arrives).  Fill vectors are
+    cached per relation and recomputed only if the base model changes
+    identity, so padding adds one gather to the cache's one-fetch path.
+    """
+
+    def __init__(self, model, base_num_nodes: int, mode: str = "zeros"):
+        self.model = model
+        self.base_num_nodes = int(base_num_nodes)
+        self.mode = mode
+        self._fills: Dict[str, np.ndarray] = {}
+
+    def _fill(self, relation: str, sample: np.ndarray) -> np.ndarray:
+        if relation not in self._fills:
+            if self.mode == "mean":
+                table = np.asarray(self.model.node_embeddings(
+                    np.arange(self.base_num_nodes), relation
+                ))
+                self._fills[relation] = table.mean(axis=0)
+            else:
+                self._fills[relation] = np.zeros(
+                    sample.shape[-1], dtype=sample.dtype
+                )
+        return self._fills[relation]
+
+    def node_embeddings(self, nodes: np.ndarray, relation: str) -> np.ndarray:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        warm = nodes < self.base_num_nodes
+        if warm.all():
+            return np.asarray(self.model.node_embeddings(nodes, relation))
+        known = np.asarray(self.model.node_embeddings(
+            nodes[warm] if warm.any() else np.arange(1), relation
+        ))
+        fill = self._fill(relation, known)
+        out = np.empty((len(nodes), known.shape[-1]), dtype=known.dtype)
+        if warm.any():
+            out[warm] = known
+        out[~warm] = fill
+        return out
+
+
+@dataclass
+class EndpointStats:
+    """Per-endpoint counters plus an instance-scoped latency window."""
+
+    requests: int = 0   # admitted requests (rejections not included)
+    batches: int = 0    # engine flushes executed for this endpoint
+    rejected: int = 0   # admissions refused with QueueFullError
+    window: int = _ENDPOINT_WINDOW
+    latencies: Optional[Deque[float]] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        from collections import deque
+
+        self.window = max(1, int(self.window))
+        if self.latencies is None:
+            self.latencies = deque(maxlen=self.window)
+
+    def record_latency(self, seconds: float) -> None:
+        self.latencies.append(seconds)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "rejected": self.rejected,
+            "mean_batch_size": (
+                self.requests / self.batches if self.batches else 0.0
+            ),
+            "latency_ms": _percentiles(self.latencies),
+        }
+
+
+class _Pending:
+    """One admitted request waiting for its batch to flush."""
+
+    __slots__ = ("payload", "result", "error", "done")
+
+    def __init__(self, payload):
+        self.payload = payload
+        self.result = None
+        self.error: Optional[BaseException] = None
+        self.done = False
+
+
+class _Batch:
+    """One open micro-batch: its items, leader, and flush deadline."""
+
+    __slots__ = ("items", "leader", "deadline")
+
+    def __init__(self, leader: _Pending, deadline: float):
+        self.items: List[_Pending] = [leader]
+        self.leader = leader
+        self.deadline = deadline
+
+
+class RecommendService:
+    """In-process recommend / similar / feedback service with streaming
+    ingestion.
+
+    Parameters
+    ----------
+    model:
+        Anything with ``node_embeddings(nodes, relation)`` covering the
+        *base* graph's nodes; cold-start rows are padded by
+        :class:`ColdStartEmbedder`.
+    graph:
+        The frozen base graph, or an existing
+        :class:`~repro.serving.deltas.DeltaGraphView` to adopt.
+    config:
+        Request-layer tunables (:class:`ServiceConfig`).
+    engine_options:
+        Extra keyword arguments for the wrapped
+        :class:`~repro.serving.engine.BatchServingEngine` (index backend,
+        block size, ...).
+    profiler:
+        Optional shared :class:`StageProfiler`; service stages are
+        recorded as ``service.*``, engine stages as ``serving.*``.
+    """
+
+    def __init__(self, model, graph, *, config: Optional[ServiceConfig] = None,
+                 engine_options: Optional[Dict[str, object]] = None,
+                 profiler: Optional[StageProfiler] = None):
+        self.config = config or ServiceConfig()
+        if isinstance(graph, DeltaGraphView):
+            self.view = graph
+            self.view.compaction_threshold = self.config.compaction_threshold
+        else:
+            self.view = DeltaGraphView(
+                graph, compaction_threshold=self.config.compaction_threshold
+            )
+        self.embedder = ColdStartEmbedder(
+            model, self.view.base.num_nodes, mode=self.config.cold_start
+        )
+        self.profiler = profiler if profiler is not None else StageProfiler()
+        options = dict(engine_options or {})
+        options.setdefault("latency_window", self.config.latency_window)
+        self.engine = BatchServingEngine(
+            self.embedder, self.view, profiler=self.profiler, **options
+        )
+        self.endpoint_stats: Dict[str, EndpointStats] = {
+            name: EndpointStats(window=self.config.latency_window)
+            for name in ENDPOINTS
+        }
+        self.view.add_compaction_listener(self._on_compaction)
+        self._cond = threading.Condition()
+        self._batches: Dict[tuple, _Batch] = {}
+        self._ripe: Dict[tuple, List[List[_Pending]]] = {}
+        self._pending_total = 0
+        self._queue_high_water = 0
+        self._exec_lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Public endpoints
+    # ------------------------------------------------------------------
+    def recommend(self, source: int, relation: str, k: Optional[int] = None,
+                  target_type: Optional[str] = None,
+                  exclude_known: bool = True) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` ``(ids, scores)`` for one source under ``relation``."""
+        k = self._check_read(relation, [source], k)
+        key = ("recommend", relation, k, target_type, exclude_known)
+        return self._submit(key, int(source))
+
+    def recommend_many(self, sources: Sequence[int], relation: str,
+                       k: Optional[int] = None,
+                       target_type: Optional[str] = None,
+                       exclude_known: bool = True
+                       ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Batch variant: the whole list is admitted as one micro-batch."""
+        k = self._check_read(relation, sources, k)
+        key = ("recommend", relation, k, target_type, exclude_known)
+        return self._submit_many(key, [int(s) for s in sources])
+
+    def similar(self, node: int, relation: str,
+                k: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` same-typed ``(ids, cosine_scores)`` for one node."""
+        k = self._check_read(relation, [node], k)
+        key = ("similar", relation, k)
+        return self._submit(key, int(node))
+
+    def similar_many(self, nodes: Sequence[int], relation: str,
+                     k: Optional[int] = None
+                     ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        k = self._check_read(relation, nodes, k)
+        key = ("similar", relation, k)
+        return self._submit_many(key, [int(n) for n in nodes])
+
+    def feedback(self, source: int, target: int, relation: str,
+                 source_type: Optional[str] = None,
+                 target_type: Optional[str] = None) -> Dict[str, object]:
+        """Stream one interaction into the live graph.
+
+        Either endpoint may name a **fresh node id** — exactly
+        ``num_nodes`` at application time (ids are dense) — which is
+        registered first with its type resolved from ``source_type`` /
+        ``target_type`` or, when omitted, from the relationship's
+        schema-level endpoint-type map.  Returns a dict with ``accepted``
+        (``False`` for duplicate edges), ``new_nodes`` and ``compacted``.
+        """
+        self.view.schema.relationship_index(relation)
+        key = ("feedback", relation)
+        return self._submit(
+            key, (int(source), int(target), source_type, target_type)
+        )
+
+    def feedback_many(self, edges: Sequence[Tuple[int, int]], relation: str
+                      ) -> List[Dict[str, object]]:
+        self.view.schema.relationship_index(relation)
+        key = ("feedback", relation)
+        return self._submit_many(
+            key, [(int(u), int(v), None, None) for u, v in edges]
+        )
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _check_read(self, relation: str, nodes: Sequence[int],
+                    k: Optional[int]) -> int:
+        self.view.schema.relationship_index(relation)
+        k = self.config.default_k if k is None else int(k)
+        if k <= 0:
+            raise ServiceError(f"k must be positive, got {k}")
+        num_nodes = self.view.num_nodes
+        for node in nodes:
+            if not 0 <= int(node) < num_nodes:
+                raise ServiceError(
+                    f"unknown node id {int(node)} (graph has {num_nodes} "
+                    "nodes; stream new nodes in through feedback first)"
+                )
+        return k
+
+    # ------------------------------------------------------------------
+    # Admission queue + micro-batching
+    # ------------------------------------------------------------------
+    def _admit(self, key: tuple, payloads: list) -> List[_Pending]:
+        """Enqueue payloads under the admission bound (caller holds _cond)."""
+        endpoint = key[0]
+        stats = self.endpoint_stats[endpoint]
+        if self._pending_total + len(payloads) > self.config.max_queue:
+            stats.rejected += len(payloads)
+            raise QueueFullError(
+                f"admission queue full ({self._pending_total} pending, "
+                f"bound {self.config.max_queue}); rejected {len(payloads)} "
+                f"{endpoint} request(s)"
+            )
+        requests = [_Pending(payload) for payload in payloads]
+        batch = self._batches.get(key)
+        for request in requests:
+            if batch is None:
+                batch = _Batch(
+                    request, time.perf_counter() + self.config.flush_interval
+                )
+                self._batches[key] = batch
+            else:
+                batch.items.append(request)
+            if len(batch.items) >= self.config.max_batch:
+                # Full: move it aside so the next request opens a fresh
+                # batch; ripe batches flush on the next _drive iteration.
+                self._ripe.setdefault(key, []).append(batch.items)
+                del self._batches[key]
+                batch = None
+        self._pending_total += len(requests)
+        self._queue_high_water = max(self._queue_high_water, self._pending_total)
+        stats.requests += len(requests)
+        return requests
+
+    def _take_due_batches(self, key: tuple, now: float) -> List[tuple]:
+        """Pop every batch of ``key`` that is full or past deadline."""
+        due = [(key, items) for items in self._ripe.pop(key, [])]
+        batch = self._batches.get(key)
+        if batch is not None and now >= batch.deadline:
+            del self._batches[key]
+            due.append((key, batch.items))
+        return due
+
+    def _submit(self, key: tuple, payload):
+        return self._submit_many(key, [payload])[0]
+
+    def _submit_many(self, key: tuple, payloads: list) -> list:
+        start = time.perf_counter()
+        with self._cond:
+            requests = self._admit(key, payloads)
+        self._drive(key, requests)
+        stats = self.endpoint_stats[key[0]]
+        elapsed = time.perf_counter() - start
+        with self._cond:
+            for _ in requests:
+                stats.record_latency(elapsed)
+        first_error = next((r.error for r in requests if r.error), None)
+        if first_error is not None:
+            raise first_error
+        return [r.result for r in requests]
+
+    def _drive(self, key: tuple, requests: List[_Pending]) -> None:
+        """Block until every request is flushed, leading when it's our turn.
+
+        The requester that opened a batch (the *leader*) waits out the
+        flush interval and then executes it; a requester that fills a
+        batch to ``max_batch`` flushes it immediately; followers just
+        wait.  Execution happens outside the admission lock, serialised
+        by the service-wide execution lock.
+        """
+        own = set(map(id, requests))
+        while True:
+            to_flush: List[tuple] = []
+            with self._cond:
+                pending = [r for r in requests if not r.done]
+                if not pending:
+                    return
+                now = time.perf_counter()
+                to_flush = self._take_due_batches(key, now)
+                if not to_flush:
+                    batch = self._batches.get(key)
+                    if batch is not None and id(batch.leader) in own:
+                        # We lead this batch: sleep until its deadline.
+                        timeout = max(0.0, batch.deadline - now)
+                        self._cond.wait(timeout)
+                    else:
+                        # Follower: wake on any flush completion.
+                        self._cond.wait(0.05)
+                    continue
+            for flush_key, items in to_flush:
+                self._execute(flush_key, items)
+            with self._cond:
+                self._pending_total -= sum(len(items) for _, items in to_flush)
+                for _, items in to_flush:
+                    for item in items:
+                        item.done = True
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Batch execution (one engine call per flush)
+    # ------------------------------------------------------------------
+    def _execute(self, key: tuple, items: List[_Pending]) -> None:
+        endpoint = key[0]
+        self.endpoint_stats[endpoint].batches += 1
+        try:
+            with self._exec_lock:
+                with self.profiler.stage(f"service.{endpoint}"):
+                    if endpoint == "recommend":
+                        _, relation, k, target_type, exclude_known = key
+                        sources = [item.payload for item in items]
+                        results = self.engine.topk_batch(
+                            sources, relation, k, target_type, exclude_known
+                        )
+                        for item, result in zip(items, results):
+                            item.result = result
+                    elif endpoint == "similar":
+                        _, relation, k = key
+                        nodes = [item.payload for item in items]
+                        results = self.engine.similar_topk(nodes, relation, k)
+                        for item, result in zip(items, results):
+                            item.result = result
+                    else:
+                        _, relation = key
+                        for item in items:
+                            item.result = self._apply_feedback(
+                                relation, *item.payload
+                            )
+                        if self.view.should_compact():
+                            with self.profiler.stage("service.compaction"):
+                                self.view.compact()
+                            for item in items:
+                                item.result["compacted"] = True
+                                item.result["version"] = self.view.version
+        except BaseException as error:  # surfaced on every waiter
+            for item in items:
+                if item.result is None:
+                    item.error = error
+
+    # ------------------------------------------------------------------
+    # Feedback application + cold-start registration
+    # ------------------------------------------------------------------
+    def _resolve_cold_type(self, relation: str, warm_node: Optional[int],
+                           declared: Optional[str]) -> str:
+        if declared is not None:
+            self.view.schema.node_type_index(declared)  # validates
+            return declared
+        if warm_node is None:
+            raise ServiceError(
+                f"feedback under {relation!r} introduces two unseen nodes; "
+                "pass source_type/target_type explicitly"
+            )
+        warm_type = self.view.node_type(warm_node)
+        inferred = self.engine.pools.endpoint_map(relation).get(warm_type)
+        if inferred is None:
+            # The pools' cached map can predate this relation's first edges.
+            inferred = relation_endpoint_types(self.view, relation).get(warm_type)
+        if inferred is None:
+            raise ServiceError(
+                f"cannot infer the node type of a cold node under "
+                f"{relation!r} (no edges touching type {warm_type!r}); "
+                "pass source_type/target_type explicitly"
+            )
+        return inferred
+
+    def _apply_feedback(self, relation: str, source: int, target: int,
+                        source_type: Optional[str],
+                        target_type: Optional[str]) -> Dict[str, object]:
+        if source == target:
+            raise ServiceError(
+                f"feedback cannot connect node {source} to itself"
+            )
+        new_nodes: List[int] = []
+        for node, declared, other in (
+            (source, source_type, target), (target, target_type, source)
+        ):
+            num_nodes = self.view.num_nodes
+            if node > num_nodes:
+                raise ServiceError(
+                    f"feedback node id {node} is not dense: next fresh id "
+                    f"is {num_nodes}"
+                )
+            if node == num_nodes:
+                warm = other if other < num_nodes else None
+                node_type = self._resolve_cold_type(relation, warm, declared)
+                new_nodes.append(self.view.add_node(node_type))
+        accepted = self.view.add_edge(source, target, relation)
+        if new_nodes:
+            # Pools/cache are sized to the node count — re-derive before
+            # the next read so the newborn node is poolable immediately.
+            with self.profiler.stage("service.refresh"):
+                self.engine.refresh_topology()
+        return {
+            "accepted": accepted,
+            "new_nodes": new_nodes,
+            # Overwritten by _execute when this write batch tips the view
+            # over its compaction threshold.
+            "compacted": False,
+            "version": self.view.version,
+        }
+
+    def _on_compaction(self, view: DeltaGraphView) -> None:
+        """Compaction contract: caches and indexes re-sync to the new base."""
+        with self.profiler.stage("service.refresh"):
+            self.engine.refresh_topology()
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return self._pending_total
+
+    def stats_report(self) -> Dict[str, object]:
+        """Endpoints, queue, ingestion, engine and stage timings in one dict."""
+        return {
+            "endpoints": {
+                name: stats.to_dict()
+                for name, stats in self.endpoint_stats.items()
+            },
+            "queue": {
+                "max_queue": self.config.max_queue,
+                "high_water": self._queue_high_water,
+                "depth": self.queue_depth,
+            },
+            "ingestion": self.view.stats(),
+            "engine": self.engine.latency_report(),
+        }

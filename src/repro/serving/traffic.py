@@ -1,0 +1,175 @@
+"""Seeded traffic traces: generate, replay, and fingerprint mixed load.
+
+A *trace* is a flat list of :class:`TraceOp` — recommend / similar reads
+interleaved with feedback writes, including writes that introduce
+never-seen (cold-start) nodes.  Traces are **self-contained**: every op
+names concrete node ids, with fresh ids assigned densely at generation
+time by simulating the node counter, so the same trace can be replayed
+against the live :class:`~repro.serving.service.RecommendService` *and*
+against a naive rebuild-per-edge reference (the ``service`` oracle suite)
+and the two must agree exactly.
+
+Replays fingerprint every read result into a SHA-256 digest (ids and
+scores, byte-exact).  Two replays of the same seeded trace must produce
+the same digest — the seeded-determinism property the serving test suite
+and `repro verify --suite service` assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import QueueFullError
+from repro.serving.pools import relation_endpoint_types
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = [
+    "TraceOp",
+    "generate_trace",
+    "replay_trace",
+    "ResultDigest",
+]
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One request in a simulated traffic trace.
+
+    ``op`` is ``"recommend"``, ``"similar"`` or ``"feedback"``.  For reads
+    ``nodes`` holds the query sources; for feedback it is the ``(u, v)``
+    edge, where either endpoint may be a fresh (cold-start) id equal to
+    the node count at application time.
+    """
+
+    op: str
+    relation: str
+    nodes: Tuple[int, ...]
+    k: int = 10
+
+
+class ResultDigest:
+    """Order-sensitive SHA-256 fingerprint of replayed read results."""
+
+    def __init__(self):
+        self._hash = hashlib.sha256()
+
+    def update(self, ids: np.ndarray, scores: np.ndarray) -> None:
+        self._hash.update(np.asarray(ids, dtype=np.int64).tobytes())
+        self._hash.update(np.asarray(scores, dtype=np.float64).tobytes())
+
+    def update_text(self, text: str) -> None:
+        self._hash.update(text.encode("utf-8"))
+
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()
+
+
+def _relation_types(graph) -> Dict[str, Tuple[str, str]]:
+    """Per relation: one (source_type, target_type) pair for edge synthesis."""
+    out: Dict[str, Tuple[str, str]] = {}
+    for relation in graph.schema.relationships:
+        endpoint_map = relation_endpoint_types(graph, relation)
+        if endpoint_map:
+            src_type = sorted(endpoint_map)[0]
+            out[relation] = (src_type, endpoint_map[src_type])
+    return out
+
+
+def generate_trace(graph, num_ops: int, seed: SeedLike = 0, *,
+                   read_fraction: float = 0.7,
+                   similar_fraction: float = 0.2,
+                   new_node_rate: float = 0.05,
+                   k: int = 10) -> List[TraceOp]:
+    """Synthesise a mixed read/write trace over ``graph``'s id space.
+
+    ``read_fraction`` of ops are reads, split between recommend and
+    ``similar_fraction`` similar queries; the rest are feedback writes, of
+    which ``new_node_rate`` target a brand-new node id.  The generator
+    tracks the running node count per type so fresh ids are exactly the
+    dense ids the service will assign, and recent cold nodes are eligible
+    read sources — cold-start reads are part of the mix by construction.
+    """
+    rng = as_rng(seed)
+    endpoint_types = _relation_types(graph)
+    relations = sorted(endpoint_types)
+    if not relations:
+        raise ValueError("graph has no relation with edges to synthesise from")
+
+    # Live per-type id lists, extended as the simulated service grows.
+    nodes_by_type: Dict[str, List[int]] = {
+        node_type: [int(n) for n in graph.nodes_of_type(node_type)]
+        for node_type in graph.schema.node_types
+    }
+    num_nodes = graph.num_nodes
+    trace: List[TraceOp] = []
+    for _ in range(int(num_ops)):
+        relation = relations[int(rng.integers(len(relations)))]
+        src_type, dst_type = endpoint_types[relation]
+        roll = float(rng.random())
+        if roll < read_fraction:
+            pool_type = src_type if rng.random() < 0.5 else dst_type
+            pool = nodes_by_type[pool_type]
+            source = pool[int(rng.integers(len(pool)))]
+            if rng.random() < similar_fraction:
+                trace.append(TraceOp("similar", relation, (source,), k))
+            else:
+                trace.append(TraceOp("recommend", relation, (source,), k))
+        else:
+            src_pool = nodes_by_type[src_type]
+            u = src_pool[int(rng.integers(len(src_pool)))]
+            if rng.random() < new_node_rate:
+                v = num_nodes  # fresh dense id, type inferred from u
+                nodes_by_type[dst_type].append(v)
+                num_nodes += 1
+            else:
+                dst_pool = nodes_by_type[dst_type]
+                v = dst_pool[int(rng.integers(len(dst_pool)))]
+                if v == u:  # same-type self-pairing guard
+                    v = dst_pool[(dst_pool.index(v) + 1) % len(dst_pool)]
+                    if v == u:
+                        continue
+            trace.append(TraceOp("feedback", relation, (u, v), k))
+    return trace
+
+
+def replay_trace(service, trace: Sequence[TraceOp],
+                 digest: Optional[ResultDigest] = None) -> Dict[str, object]:
+    """Run ``trace`` against a service; returns counters plus the digest.
+
+    Queue-full rejections are counted, digested (so determinism checks
+    cover the rejection pattern too) and skipped — exactly what a load
+    shedder does.  All other errors propagate: a malformed trace is a bug,
+    not traffic.
+    """
+    digest = digest or ResultDigest()
+    counts = {"recommend": 0, "similar": 0, "feedback": 0, "rejected": 0,
+              "accepted_edges": 0, "new_nodes": 0, "compactions": 0}
+    for op in trace:
+        try:
+            if op.op == "recommend":
+                ids, scores = service.recommend(op.nodes[0], op.relation, op.k)
+                digest.update(ids, scores)
+                counts["recommend"] += 1
+            elif op.op == "similar":
+                ids, scores = service.similar(op.nodes[0], op.relation, op.k)
+                digest.update(ids, scores)
+                counts["similar"] += 1
+            else:
+                result = service.feedback(op.nodes[0], op.nodes[1], op.relation)
+                digest.update_text(
+                    f"feedback:{op.relation}:{op.nodes[0]}:{op.nodes[1]}:"
+                    f"{result['accepted']}:{len(result['new_nodes'])}"
+                )
+                counts["feedback"] += 1
+                counts["accepted_edges"] += int(result["accepted"])
+                counts["new_nodes"] += len(result["new_nodes"])
+                counts["compactions"] += int(result["compacted"])
+        except QueueFullError:
+            digest.update_text(f"rejected:{op.op}")
+            counts["rejected"] += 1
+    counts["digest"] = digest.hexdigest()
+    return counts

@@ -47,6 +47,7 @@ from repro.verify.oracles import (
     model_oracles,
     run_oracle_suite,
     sampling_oracles,
+    service_oracles,
     serving_oracles,
 )
 
@@ -72,6 +73,7 @@ __all__ = [
     "model_oracles",
     "run_oracle_suite",
     "sampling_oracles",
+    "service_oracles",
     "serving_oracles",
     "GOLDEN_MODELS",
     "GoldenCheck",
