@@ -1,0 +1,218 @@
+"""Training-at-scale benchmark: the sharded multi-worker skip-gram trainer.
+
+Generates a million-node ``taobao-xl`` graph with the vectorized synthetic
+engine, trains shared skip-gram tables single-worker and K-worker (both
+update modes), and reports wall time, speedup and the validation ROC-AUC
+delta against the single-worker baseline.  Writes ``BENCH_training.json``.
+
+Two gates:
+
+- **quality** — every K-worker run must land within
+  :data:`repro.verify.AUC_TOLERANCE` (0.01 ROC-AUC on the [0, 1] scale) of
+  the single-worker baseline.  Always enforced.
+- **speedup** — K workers must reach :data:`SPEEDUP_TARGET` over one
+  worker.  Only enforced when the host has at least
+  :data:`SPEEDUP_MIN_CORES` physical slots (``os.cpu_count()``): hogwild
+  cannot beat 1x on a single core, and pretending otherwise would make the
+  benchmark dishonest.  The measured numbers and the core count are
+  recorded either way.
+
+Run standalone (writes ``BENCH_training.json``):
+
+    PYTHONPATH=src python benchmarks/bench_training.py [--smoke] [--out PATH]
+
+or under pytest (smoke workload):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_training.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.datasets import load_dataset, split_edges
+from repro.perf import Timer
+from repro.train import ParallelSkipGramTrainer, ParallelTrainerConfig
+from repro.verify import AUC_TOLERANCE
+
+#: K-worker training must be at least this much faster than one worker ...
+SPEEDUP_TARGET = 3.0
+#: ... but only on hosts with enough cores for parallelism to exist at all.
+SPEEDUP_MIN_CORES = 4
+
+#: CI-sized workload: ~20k nodes, seconds per fit.
+SMOKE_SETTINGS = dict(scale=0.02, dim=16, epochs=2, batch_size=2048)
+#: The acceptance workload: 10^6 nodes, ~2.45M edges.
+FULL_SETTINGS = dict(scale=1.0, dim=32, epochs=2, batch_size=4096)
+
+_SHARED = dict(num_walks=1, walk_length=6, window=2, patience=5)
+
+
+def _fit_case(schemes, split, *, workers: int, update_mode: str,
+              dim: int, epochs: int, batch_size: int, seed: int) -> Dict:
+    config = ParallelTrainerConfig(
+        workers=workers, update_mode=update_mode, dim=dim, epochs=epochs,
+        batch_size=batch_size, **_SHARED,
+    )
+    trainer = ParallelSkipGramTrainer(schemes, split, config, rng=seed)
+    with Timer() as timer:
+        history = trainer.fit()
+    return {
+        "workers": workers,
+        "update_mode": update_mode,
+        "wall_s": timer.elapsed,
+        "epoch_s": timer.elapsed / max(1, len(history.losses)),
+        "epochs_ran": len(history.losses),
+        "final_loss": history.losses[-1],
+        "best_val_auc_pct": history.best_val_score,
+    }
+
+
+def run_all(smoke: bool = False, workers: Optional[int] = None,
+            scale: Optional[float] = None, seed: int = 0) -> Dict:
+    settings = dict(SMOKE_SETTINGS if smoke else FULL_SETTINGS)
+    if scale is not None:
+        settings["scale"] = scale
+    cores = os.cpu_count() or 1
+    k = workers or max(2, min(4, cores))
+
+    with Timer() as gen_timer:
+        dataset = load_dataset("taobao-xl", scale=settings["scale"], seed=7)
+    with Timer() as split_timer:
+        split = split_edges(dataset.graph, rng=8)
+    schemes = dataset.all_schemes()
+
+    fit_kwargs = dict(dim=settings["dim"], epochs=settings["epochs"],
+                      batch_size=settings["batch_size"], seed=seed)
+    cases: List[Dict] = [
+        _fit_case(schemes, split, workers=1, update_mode="hogwild",
+                  **fit_kwargs)
+    ]
+    baseline = cases[0]
+    for mode in ("hogwild", "average"):
+        cases.append(
+            _fit_case(schemes, split, workers=k, update_mode=mode,
+                      **fit_kwargs)
+        )
+    for case in cases:
+        case["speedup_vs_1"] = (
+            baseline["wall_s"] / case["wall_s"] if case["wall_s"] > 0
+            else float("inf")
+        )
+        # Metrics are percentages; the gate works on the [0, 1] AUC scale.
+        case["auc_delta_vs_1"] = abs(
+            case["best_val_auc_pct"] - baseline["best_val_auc_pct"]
+        ) / 100.0
+
+    parallel_cases = cases[1:]
+    quality_ok = all(
+        c["auc_delta_vs_1"] < AUC_TOLERANCE for c in parallel_cases
+    )
+    best_speedup = max(c["speedup_vs_1"] for c in parallel_cases)
+    speedup_enforced = cores >= SPEEDUP_MIN_CORES
+    speedup_ok = best_speedup >= SPEEDUP_TARGET
+
+    return {
+        "smoke": smoke,
+        "graph": repr(dataset.graph),
+        "num_nodes": dataset.graph.num_nodes,
+        "num_edges": dataset.graph.num_edges,
+        "cpu_count": cores,
+        "settings": {**settings, "workers": k, **_SHARED, "seed": seed},
+        "generate_s": gen_timer.elapsed,
+        "split_s": split_timer.elapsed,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "cases": cases,
+        "gates": {
+            "auc_tolerance": AUC_TOLERANCE,
+            "quality_ok": quality_ok,
+            "speedup_target": SPEEDUP_TARGET,
+            "speedup_min_cores": SPEEDUP_MIN_CORES,
+            "speedup_enforced": speedup_enforced,
+            "best_speedup": best_speedup,
+            "speedup_ok": speedup_ok,
+            "passed": quality_ok and (speedup_ok or not speedup_enforced),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized workload (~20k nodes)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="K for the K-worker cases "
+                             "(default: min(4, cpu_count), at least 2)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="override the taobao-xl scale factor")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent
+                    / "BENCH_training.json"),
+        help="output JSON path (default: <repo>/BENCH_training.json)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_all(smoke=args.smoke, workers=args.workers or None,
+                      scale=args.scale, seed=args.seed)
+    Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+
+    print(f"graph: {results['graph']}")
+    print(f"generate {results['generate_s']:.1f}s  "
+          f"split {results['split_s']:.1f}s  "
+          f"cpu_count {results['cpu_count']}")
+    for case in results["cases"]:
+        print(
+            f"  workers={case['workers']} {case['update_mode']:<8} "
+            f"{case['wall_s']:8.1f}s  {case['speedup_vs_1']:5.2f}x  "
+            f"val AUC {case['best_val_auc_pct']:6.2f}%  "
+            f"delta {case['auc_delta_vs_1']:.4f}"
+        )
+    gates = results["gates"]
+    print(f"quality gate (|dAUC| < {gates['auc_tolerance']}): "
+          + ("ok" if gates["quality_ok"] else "FAILED"))
+    enforced = "" if gates["speedup_enforced"] else (
+        f" [not enforced: {results['cpu_count']} core(s) < "
+        f"{gates['speedup_min_cores']}]"
+    )
+    print(f"speedup gate (>= {gates['speedup_target']}x): "
+          f"{gates['best_speedup']:.2f}x"
+          + (" ok" if gates["speedup_ok"] else " below target") + enforced)
+    print(f"wrote {args.out}")
+    return 0 if gates["passed"] else 1
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (smoke workload)
+# ----------------------------------------------------------------------
+def test_parallel_training_quality():
+    """K-worker training stays within AUC_TOLERANCE of one worker."""
+    results = run_all(smoke=True, workers=2)
+    for case in results["cases"][1:]:
+        print(f"\nworkers={case['workers']} {case['update_mode']}: "
+              f"delta {case['auc_delta_vs_1']:.4f}")
+        assert case["auc_delta_vs_1"] < AUC_TOLERANCE, case
+
+
+def test_speedup_on_multicore_hosts():
+    """>= 3x with K workers — only meaningful with real cores."""
+    import pytest
+
+    if (os.cpu_count() or 1) < SPEEDUP_MIN_CORES:
+        pytest.skip(f"host has {os.cpu_count()} core(s); "
+                    f"speedup needs >= {SPEEDUP_MIN_CORES}")
+    results = run_all(smoke=True)
+    assert results["gates"]["best_speedup"] >= SPEEDUP_TARGET, results["gates"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -91,6 +91,7 @@ class TrainerConfig:
     window: int = 3
     patience: int = 5
     max_batches_per_epoch: int = 0  # 0 = no cap; caps epoch cost in smoke runs
+    resample_walks_every: int = 0  # 0 = walk once, reuse pairs every epoch
     verbose: bool = False
 
     def __post_init__(self):
@@ -106,3 +107,5 @@ class TrainerConfig:
             raise TrainingError("window must be >= 1")
         if self.patience < 1:
             raise TrainingError("patience must be >= 1")
+        if self.resample_walks_every < 0:
+            raise TrainingError("resample_walks_every must be >= 0")

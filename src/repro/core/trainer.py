@@ -47,6 +47,25 @@ class SkipGramTrainer:
     used for skip-gram contexts), ``num_negatives``, ``invalidate_cache()``
     and the ``state_dict``/``load_state_dict`` pair.  HybridGNN and the
     skip-gram baselines (GATNE, HAN, MAGNN) all satisfy this.
+
+    The epoch loop is decomposed into three explicitly-bounded stages so
+    alternative executors (the sharded trainer in ``repro.train.parallel``)
+    can swap any one of them without re-implementing the rest:
+
+    - **sample** — :meth:`generate_pairs`: walks → (center, context) pairs
+      per relationship.  Consumes spawned child RNGs only.
+    - **batch** — :meth:`make_batches`: pairs → shuffled fixed-size batch
+      list.  Consumes the trainer RNG (permutation + shuffle) and applies
+      the ``max_batches_per_epoch`` cap.
+    - **update** — :meth:`apply_updates`: batches → mean loss.  Consumes
+      only the negative sampler's private RNG; all parameter mutation
+      happens here.
+
+    Stage boundaries are data (plain dict/list of arrays), never shared
+    mutable state, which is what makes them shippable across process
+    boundaries.  :meth:`fit` composes the stages; :meth:`_reference_fit`
+    keeps the pre-refactor monolithic loop as a differential oracle
+    (``repro verify --suite parallel`` checks bit-identity).
     """
 
     def __init__(
@@ -68,7 +87,7 @@ class SkipGramTrainer:
         )
         self._optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
 
-    # ------------------------------------------------------------------
+    # -- sample stage --------------------------------------------------
     def generate_pairs(self) -> Dict[str, np.ndarray]:
         """Skip-gram (center, context) pairs per relationship.
 
@@ -111,10 +130,17 @@ class SkipGramTrainer:
             )
         return pairs
 
-    # ------------------------------------------------------------------
-    def _train_epoch(self, pairs: Dict[str, np.ndarray]) -> float:
+    # -- batch stage ---------------------------------------------------
+    def make_batches(
+        self, pairs: Dict[str, np.ndarray]
+    ) -> List[Tuple[str, np.ndarray]]:
+        """Shuffle pairs per relation and slice them into training batches.
+
+        Consumes the trainer RNG (one permutation per relation, in pair-dict
+        order, then one global shuffle) — the exact draw sequence of the
+        pre-refactor loop, so seeded runs stay bit-identical.
+        """
         config = self.config
-        model = self.model
         with self.profiler.stage("train.batching"):
             batches: List[Tuple[str, np.ndarray]] = []
             for relation, relation_pairs in pairs.items():
@@ -124,11 +150,23 @@ class SkipGramTrainer:
             self._rng.shuffle(batches)
             if config.max_batches_per_epoch:
                 batches = batches[: config.max_batches_per_epoch]
+        return batches
 
+    # -- update stage --------------------------------------------------
+    def apply_updates(self, batches: List[Tuple[str, np.ndarray]]) -> float:
+        """Run one optimisation step per batch; return the mean batch loss.
+
+        The only stage that mutates parameters.  Negatives come from the
+        sampler's private RNG, so the sample/batch stages can be replayed
+        or swapped without perturbing the update stream.
+        """
         with self.profiler.stage("train.sgd"):
             total_loss = self._run_batches(batches)
-        model.invalidate_cache()
+        self.model.invalidate_cache()
         return total_loss / max(1, len(batches))
+
+    def _train_epoch(self, pairs: Dict[str, np.ndarray]) -> float:
+        return self.apply_updates(self.make_batches(pairs))
 
     def _run_batches(self, batches: List[Tuple[str, np.ndarray]]) -> float:
         model = self.model
@@ -156,7 +194,14 @@ class SkipGramTrainer:
 
     # ------------------------------------------------------------------
     def fit(self) -> TrainingHistory:
-        """Train with early stopping; restores the best parameters."""
+        """Train with early stopping; restores the best parameters.
+
+        With ``config.resample_walks_every == 0`` (default) walks are
+        sampled once and the same pairs feed every epoch — the historical
+        behaviour, kept so goldens stay bit-identical.  A positive value
+        re-runs the sample stage every that-many epochs, so later epochs
+        train on fresh random-walk contexts instead of a frozen corpus.
+        """
         config = self.config
         history = TrainingHistory()
         pairs = self.generate_pairs()
@@ -164,7 +209,70 @@ class SkipGramTrainer:
         epochs_since_best = 0
 
         for epoch in range(config.epochs):
+            if (
+                config.resample_walks_every
+                and epoch
+                and epoch % config.resample_walks_every == 0
+            ):
+                pairs = self.generate_pairs()
             loss = self._train_epoch(pairs)
+            history.losses.append(loss)
+            val_score = self._validation_score()
+            if val_score is not None:
+                history.val_scores.append(val_score)
+                if val_score > history.best_val_score:
+                    history.best_val_score = val_score
+                    history.best_epoch = epoch
+                    best_state = self.model.state_dict()
+                    epochs_since_best = 0
+                else:
+                    epochs_since_best += 1
+            if config.verbose:
+                val_text = f", val ROC-AUC {val_score:.2f}" if val_score is not None else ""
+                print(f"epoch {epoch + 1}/{config.epochs}: loss {loss:.4f}{val_text}")
+            if val_score is not None and epochs_since_best >= config.patience:
+                history.stopped_early = True
+                break
+
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+            self.model.invalidate_cache()
+        return history
+
+    # ------------------------------------------------------------------
+    def _reference_fit(self) -> TrainingHistory:
+        """Pre-refactor monolithic training loop, kept as the oracle.
+
+        A verbatim copy of ``fit`` as it stood before the sample→batch→
+        update decomposition (and before ``resample_walks_every``): one
+        inline epoch body doing batching + SGD.  ``repro verify --suite
+        parallel`` runs this against the staged :meth:`fit` on identically
+        seeded twins and demands bit-identical losses, validation scores
+        and final parameters.  Never optimise or "clean up" this method —
+        its value is that it does not change.
+        """
+        config = self.config
+        model = self.model
+        history = TrainingHistory()
+        pairs = self.generate_pairs()
+        best_state = None
+        epochs_since_best = 0
+
+        for epoch in range(config.epochs):
+            with self.profiler.stage("train.batching"):
+                batches: List[Tuple[str, np.ndarray]] = []
+                for relation, relation_pairs in pairs.items():
+                    order = self._rng.permutation(len(relation_pairs))
+                    for start in range(0, len(relation_pairs), config.batch_size):
+                        batches.append((relation, relation_pairs[order[start: start + config.batch_size]]))
+                self._rng.shuffle(batches)
+                if config.max_batches_per_epoch:
+                    batches = batches[: config.max_batches_per_epoch]
+            with self.profiler.stage("train.sgd"):
+                total_loss = self._run_batches(batches)
+            model.invalidate_cache()
+            loss = total_loss / max(1, len(batches))
+
             history.losses.append(loss)
             val_score = self._validation_score()
             if val_score is not None:

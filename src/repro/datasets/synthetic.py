@@ -70,6 +70,13 @@ class RelationshipSpec:
     community_shift: int = 0
 
 
+#: Edge-generation engines: ``loop`` is the original one-draw-at-a-time
+#: reference (every golden snapshot was generated with it, so it must stay
+#: bit-identical); ``vectorized`` draws whole batches through precomputed
+#: CDFs and scales to million-node graphs.
+ENGINES = ("loop", "vectorized")
+
+
 @dataclass(frozen=True)
 class SyntheticConfig:
     """Full recipe for a synthetic multiplex heterogeneous graph."""
@@ -78,10 +85,15 @@ class SyntheticConfig:
     relationships: Tuple[RelationshipSpec, ...]
     num_communities: int = 8
     popularity_skew: float = 0.8
+    engine: str = "loop"
 
     def __post_init__(self):
         if not self.node_counts:
             raise DatasetError("node_counts must not be empty")
+        if self.engine not in ENGINES:
+            raise DatasetError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
         for node_type, count in self.node_counts.items():
             if count <= 0:
                 raise DatasetError(f"node type {node_type!r} has count {count}")
@@ -164,8 +176,13 @@ class SyntheticGenerator:
                     pool_weights[(node_type, community)] = w / w.sum()
 
         edges: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        generate_one = (
+            self._generate_relationship_vectorized
+            if config.engine == "vectorized"
+            else self._generate_relationship
+        )
         for spec in config.relationships:
-            src, dst = self._generate_relationship(
+            src, dst = generate_one(
                 spec, id_ranges, communities, popularity, pools, pool_weights, edges
             )
             edges[spec.name] = (src, dst)
@@ -236,6 +253,125 @@ class SyntheticGenerator:
         return (
             np.asarray(src_list, dtype=np.int64),
             np.asarray(dst_list, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    #: Batched draw rounds before the vectorized engine gives up — the
+    #: analogue of the loop engine's 50×num_edges attempt budget.
+    MAX_VECTORIZED_ROUNDS = 60
+
+    def _generate_relationship_vectorized(
+        self,
+        spec: RelationshipSpec,
+        id_ranges: Dict[str, Tuple[int, int]],
+        communities: np.ndarray,
+        popularity: Dict[str, np.ndarray],
+        pools: Dict[Tuple[str, int], np.ndarray],
+        pool_weights: Dict[Tuple[str, int], np.ndarray],
+        existing: Dict[str, Tuple[np.ndarray, np.ndarray]],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched counterpart of :meth:`_generate_relationship`.
+
+        Same two phases and the same distributions, but endpoints come in
+        whole batches: popularity and pool draws go through precomputed
+        CDFs + ``searchsorted`` instead of per-edge ``rng.choice(p=...)``
+        (which rescans its distribution on every call), and undirected
+        dedup uses encoded ``low * N + high`` keys instead of a Python
+        set.  Draw streams differ from the loop engine by construction —
+        the loop engine stays the default precisely so goldens never move.
+        """
+        rng = self._rng
+        num_communities = self.config.num_communities
+        src_start, src_stop = id_ranges[spec.src_type]
+        dst_start, dst_stop = id_ranges[spec.dst_type]
+        total_nodes = max(stop for _, stop in id_ranges.values())
+
+        seen_keys = np.empty(0, dtype=np.int64)
+        src_parts: List[np.ndarray] = []
+        dst_parts: List[np.ndarray] = []
+        count = 0
+
+        def admit(u: np.ndarray, v: np.ndarray) -> None:
+            """Drop self-loops and already-seen undirected pairs; keep rest."""
+            nonlocal seen_keys, count
+            valid = u != v
+            u, v = u[valid], v[valid]
+            low = np.minimum(u, v)
+            keys = low * total_nodes + (u + v - low)
+            _, first = np.unique(keys, return_index=True)
+            order = np.sort(first)  # batch-dedup, original order kept
+            u, v, keys = u[order], v[order], keys[order]
+            fresh = ~np.isin(keys, seen_keys)
+            u, v, keys = u[fresh], v[fresh], keys[fresh]
+            seen_keys = np.concatenate([seen_keys, keys])
+            src_parts.append(u)
+            dst_parts.append(v)
+            count += len(u)
+
+        # Phase 1: copy correlated edges from the base relationship.
+        if spec.overlap > 0 and spec.overlap_with is not None:
+            base_src, base_dst = existing[spec.overlap_with]
+            want = int(spec.overlap * spec.num_edges)
+            if len(base_src):
+                take = rng.choice(
+                    len(base_src), size=min(want, len(base_src)), replace=False
+                )
+                admit(base_src[take], base_dst[take])
+
+        # Phase 2: community-assortative edges, popularity-skewed endpoints.
+        src_cdf = np.cumsum(popularity[spec.src_type])
+        pool_cdfs: Dict[int, np.ndarray] = {}
+        rounds = 0
+        while count < spec.num_edges and rounds < self.MAX_VECTORIZED_ROUNDS:
+            rounds += 1
+            need = spec.num_edges - count
+            # Over-draw to absorb dedup/self-loop losses in one round.
+            batch = need + need // 4 + 64
+            u = src_start + np.searchsorted(
+                src_cdf, rng.random(batch), side="right"
+            )
+            np.minimum(u, src_stop - 1, out=u)  # guard fp cdf tail
+            noise_mask = rng.random(batch) < spec.noise
+            v = np.full(batch, -1, dtype=np.int64)
+            num_noisy = int(noise_mask.sum())
+            if num_noisy:
+                v[noise_mask] = rng.integers(
+                    dst_start, dst_stop, size=num_noisy
+                )
+            assort = np.flatnonzero(~noise_mask)
+            if len(assort):
+                target = (
+                    communities[u[assort]] + spec.community_shift
+                ) % num_communities
+                for community in np.unique(target):
+                    community = int(community)
+                    pool = pools[(spec.dst_type, community)]
+                    if len(pool) == 0:
+                        continue  # those slots stay -1 and are dropped
+                    if community not in pool_cdfs:
+                        pool_cdfs[community] = np.cumsum(
+                            pool_weights[(spec.dst_type, community)]
+                        )
+                    cdf = pool_cdfs[community]
+                    slots = assort[target == community]
+                    positions = np.searchsorted(
+                        cdf, rng.random(len(slots)), side="right"
+                    )
+                    np.minimum(positions, len(pool) - 1, out=positions)
+                    v[slots] = pool[positions]
+            ok = v >= 0
+            admit(u[ok], v[ok])
+
+        if count < max(1, spec.num_edges // 2):
+            raise DatasetError(
+                f"could not generate enough edges for {spec.name!r}: "
+                f"{count}/{spec.num_edges} (graph too dense for its size?)"
+            )
+        src = np.concatenate(src_parts) if src_parts else np.empty(0, np.int64)
+        dst = np.concatenate(dst_parts) if dst_parts else np.empty(0, np.int64)
+        return (
+            src[: spec.num_edges].astype(np.int64, copy=False),
+            dst[: spec.num_edges].astype(np.int64, copy=False),
         )
 
 

@@ -195,6 +195,48 @@ def taobao_like(scale: float = 1.0, seed: SeedLike = 0) -> Dataset:
     )
 
 
+def taobao_xl_like(scale: float = 1.0, seed: SeedLike = 0) -> Dataset:
+    """Million-node Taobao alike for training-at-scale benchmarks.
+
+    Same schema, funnel structure and metapath schemes as
+    :func:`taobao_like`, but sized for the sharded trainer: ``scale=1.0``
+    is 10⁶ nodes (600k users, 400k items) and ~2.45M edges, generated
+    with the vectorized engine (the loop engine would take hours here).
+    Communities are capped at 32 so each stays large enough to be
+    learnable at this sparsity.
+    """
+    rng = as_rng(seed)
+    users = _scaled(600_000, scale)
+    items = _scaled(400_000, scale)
+    config = SyntheticConfig(
+        node_counts={"user": users, "item": items},
+        relationships=(
+            RelationshipSpec(
+                "page_view", "user", "item", _scaled(1_200_000, scale),
+                noise=0.12,
+            ),
+            RelationshipSpec(
+                "add_to_cart", "user", "item", _scaled(500_000, scale),
+                community_shift=1,
+            ),
+            RelationshipSpec(
+                "purchase", "user", "item", _scaled(350_000, scale),
+                overlap_with="add_to_cart", overlap=0.50, community_shift=1,
+            ),
+            RelationshipSpec(
+                "favorite", "user", "item", _scaled(400_000, scale),
+                overlap_with="page_view", overlap=0.40,
+            ),
+        ),
+        num_communities=32,
+        engine="vectorized",
+    )
+    return Dataset(
+        "taobao-xl", generate_graph(config, rng), ("U-I-U", "I-U-I"),
+        {"U": "user", "I": "item"},
+    )
+
+
 def kuaishou_like(scale: float = 1.0, seed: SeedLike = 0) -> Dataset:
     """Kuaishou alike: 3 node types, 4 relationships, four Table II schemes.
 
@@ -264,6 +306,7 @@ _REGISTRY = {
     "youtube": youtube_like,
     "imdb": imdb_like,
     "taobao": taobao_like,
+    "taobao-xl": taobao_xl_like,
     "kuaishou": kuaishou_like,
 }
 

@@ -51,22 +51,44 @@ class UnigramNegativeSampler:
             self._type_nodes[node_type] = nodes
             self._type_tables[node_type] = AliasTable(weights[nodes])
 
-    def sample(self, size: int, node_type: Optional[str] = None) -> np.ndarray:
-        """Draw ``size`` node ids, optionally restricted to one node type."""
+    def sample(self, size: int, node_type: Optional[str] = None,
+               rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Draw ``size`` node ids, optionally restricted to one node type.
+
+        ``rng`` overrides the sampler's own stream for this call — used by
+        the sharded trainer, whose workers share one sampler's (read-only)
+        alias tables but must each draw from a private stream.
+        """
+        rng = self._rng if rng is None else rng
         if size <= 0:
             raise SamplingError(f"sample size must be positive, got {size}")
         if node_type is None:
-            return self._global_table.sample(size, rng=self._rng)
+            return self._global_table.sample(size, rng=rng)
         if node_type not in self._type_nodes:
             raise SamplingError(f"no nodes of type {node_type!r} to sample")
-        positions = self._type_tables[node_type].sample(size, rng=self._rng)
+        positions = self._type_tables[node_type].sample(size, rng=rng)
         return self._type_nodes[node_type][positions]
 
-    def sample_like(self, nodes: np.ndarray, num_negatives: int) -> np.ndarray:
+    #: Rejection-resampling rounds before ``exclude_positive`` gives up.  A
+    #: positive with unigram mass p survives one round with probability p per
+    #: slot, so surviving all rounds needs p ~ 1, i.e. a (near-)degenerate
+    #: type distribution where exclusion is impossible anyway.
+    MAX_EXCLUDE_ROUNDS = 64
+
+    def sample_like(self, nodes: np.ndarray, num_negatives: int,
+                    exclude_positive: bool = False,
+                    rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """For each node, draw ``num_negatives`` negatives of the same type.
 
         Returns shape ``(len(nodes), num_negatives)``.  This is the
         heterogeneous negative sampling of Eq. 13.
+
+        With ``exclude_positive=True``, slots that drew the positive context
+        node itself are rejection-resampled until every row is free of its
+        own positive (word2vec and metapath2vec tolerate such collisions, so
+        the default stays off and historical streams stand bit-identical).
+        Raises :class:`SamplingError` when exclusion cannot succeed — e.g. a
+        node type whose unigram distribution collapses onto the positive.
         """
         nodes = np.asarray(nodes, dtype=np.int64)
         result = np.empty((len(nodes), num_negatives), dtype=np.int64)
@@ -75,6 +97,33 @@ class UnigramNegativeSampler:
             node_type = self.graph.schema.node_types[int(code)]
             mask = codes == code
             count = int(mask.sum()) * num_negatives
-            draws = self.sample(count, node_type=node_type)
+            draws = self.sample(count, node_type=node_type, rng=rng)
             result[mask] = draws.reshape(-1, num_negatives)
+        if exclude_positive:
+            self._resample_positives(nodes, result, rng=rng)
         return result
+
+    def _resample_positives(self, nodes: np.ndarray, result: np.ndarray,
+                            rng: Optional[np.random.Generator] = None) -> None:
+        """Redraw (in place) any negative equal to its row's positive."""
+        codes = self.graph.node_type_codes[nodes]
+        for _ in range(self.MAX_EXCLUDE_ROUNDS):
+            rows, cols = np.nonzero(result == nodes[:, None])
+            if len(rows) == 0:
+                return
+            # Group colliding slots by node type so each redraw batch hits
+            # one alias table, mirroring the primary sampling loop.
+            slot_codes = codes[rows]
+            for code in np.unique(slot_codes):
+                node_type = self.graph.schema.node_types[int(code)]
+                sel = slot_codes == code
+                draws = self.sample(int(sel.sum()), node_type=node_type,
+                                    rng=rng)
+                result[rows[sel], cols[sel]] = draws
+        bad = np.unique(nodes[np.nonzero(result == nodes[:, None])[0]])
+        raise SamplingError(
+            "exclude_positive could not find replacement negatives for "
+            f"positives {bad[:8].tolist()} after "
+            f"{self.MAX_EXCLUDE_ROUNDS} rounds; the type distribution is "
+            "degenerate (all mass on the positive node)"
+        )

@@ -1,0 +1,21 @@
+"""Scaled-out training executors.
+
+``repro.core.trainer`` owns the single-process, autograd-based training
+loop (and its staged sample→batch→update decomposition).  This package
+holds the executors that ship those stages across workers:
+
+- :mod:`repro.train.parallel` — sharded multi-worker skip-gram training
+  over shared-memory embedding tables (hogwild or parameter averaging).
+"""
+
+from repro.train.parallel import (
+    ParallelSkipGramTrainer,
+    ParallelTrainerConfig,
+    shard_nodes,
+)
+
+__all__ = [
+    "ParallelSkipGramTrainer",
+    "ParallelTrainerConfig",
+    "shard_nodes",
+]

@@ -1,0 +1,513 @@
+"""Sharded multi-worker skip-gram training over shared-memory tables.
+
+This is the "8-GPU Kuaishou" row of the paper's substitution table done
+honestly on CPU: the multiplex graph is partitioned by node shard, and K
+``multiprocessing`` workers run the trainer's sample→batch→update stages
+concurrently — frontier walkers restricted to each worker's owned start
+nodes, skip-gram sparse-SGD updates scattered into embedding tables that
+all workers share.
+
+Sharing model
+-------------
+- **Embedding tables** live in ``multiprocessing.RawArray`` buffers wrapped
+  as numpy views: one ``(num_nodes, dim)`` input table per relationship
+  (the relationship-specific embeddings of Eq. 12) plus one shared context
+  table for the skip-gram output side.  Forked workers mutate the same
+  pages the parent reads.
+- **Graph CSR and alias tables** are built once in the parent and reach
+  workers through fork copy-on-write inheritance — read-only, so the pages
+  are never duplicated.  (This is why the trainer requires the ``fork``
+  start method for true parallelism and falls back to in-process
+  sequential execution elsewhere.)
+
+Update modes
+------------
+- ``hogwild`` — workers scatter ``np.add.at`` updates straight into the
+  shared tables, lock-free.  Sparse gradients rarely collide on the same
+  rows (Niu et al., 2011), but the result is nondeterministic for K > 1.
+- ``average`` — each worker trains a private copy of the epoch-start
+  tables on its shard and publishes it to a per-worker slab; the parent
+  replaces the master with the slab mean in fixed worker order.
+  Deterministic for any K (each worker's stream is an isolated function
+  of the epoch's spawned RNGs).  Averaging scales each worker's
+  contribution by 1/K, so the step size follows the linear scaling rule:
+  effective lr = ``learning_rate × K`` for K > 1, keeping per-epoch
+  progress comparable to the single-worker run.
+
+Determinism contract
+--------------------
+``workers=1`` always runs the single worker in-process — no fork, no
+races — and is bit-identical across runs for either update mode.  It is
+the differential baseline that ``repro verify --suite parallel`` holds
+K-worker runs against (metric tolerance, not bit-identity).  The staged
+:class:`~repro.core.trainer.SkipGramTrainer` retains its own bit-exact
+oracle (``_reference_fit``) for the model-based path.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import multiprocessing as mp
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.persistence import EmbeddingStore
+from repro.core.trainer import TrainingHistory
+from repro.datasets.splits import EdgeSplit
+from repro.errors import TrainingError
+from repro.eval.link_prediction import evaluate_link_prediction
+from repro.graph.schema import MetapathScheme
+from repro.perf import StageProfiler
+from repro.sampling.adjacency import TypedAdjacencyCache
+from repro.sampling.context import context_pairs
+from repro.sampling.frontier import concat_matrices
+from repro.sampling.metapath_walk import MetapathWalker
+from repro.sampling.negative import UnigramNegativeSampler
+from repro.sampling.random_walk import UniformRandomWalker
+from repro.utils.rng import SeedLike, as_rng, spawn_rng, spawn_rngs
+
+#: Key of the shared skip-gram context (output) table in table dicts.
+CONTEXT_KEY = "__context__"
+
+UPDATE_MODES = ("hogwild", "average")
+
+
+@dataclass(frozen=True)
+class ParallelTrainerConfig:
+    """Settings for :class:`ParallelSkipGramTrainer`.
+
+    The loop parameters mirror :class:`~repro.core.config.TrainerConfig`;
+    ``workers``/``update_mode``/``dim``/``num_negatives`` are specific to
+    the sharded executor (which trains raw embedding tables rather than a
+    model, so the embedding width lives here).
+    """
+
+    workers: int = 1
+    update_mode: str = "hogwild"
+    dim: int = 32
+    num_negatives: int = 5
+    epochs: int = 5
+    batch_size: int = 1024
+    learning_rate: float = 0.025
+    num_walks: int = 2
+    walk_length: int = 8
+    window: int = 3
+    patience: int = 5
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise TrainingError("workers must be >= 1")
+        if self.update_mode not in UPDATE_MODES:
+            raise TrainingError(
+                f"unknown update_mode {self.update_mode!r}; "
+                f"expected one of {UPDATE_MODES}"
+            )
+        if self.dim < 1:
+            raise TrainingError("dim must be >= 1")
+        if self.num_negatives < 1:
+            raise TrainingError("num_negatives must be >= 1")
+        if self.epochs < 1:
+            raise TrainingError("epochs must be >= 1")
+        if self.batch_size < 1:
+            raise TrainingError("batch_size must be >= 1")
+        if self.learning_rate <= 0:
+            raise TrainingError("learning_rate must be positive")
+        if self.num_walks < 1 or self.walk_length < 2:
+            raise TrainingError("walk settings must allow at least one hop")
+        if self.window < 1:
+            raise TrainingError("window must be >= 1")
+        if self.patience < 1:
+            raise TrainingError("patience must be >= 1")
+
+
+def shard_nodes(num_nodes: int, workers: int) -> List[np.ndarray]:
+    """Round-robin shard plan: worker ``w`` owns node ``v`` iff ``v % K == w``.
+
+    Round-robin (rather than contiguous ranges) spreads every node type
+    and degree regime evenly across workers — synthetic generators and
+    real datasets both lay out node types in contiguous id blocks, which
+    contiguous sharding would assign wholesale to single workers.
+    The shards partition ``range(num_nodes)``: disjoint and complete
+    (``verify --suite parallel`` asserts this exactly).
+    """
+    if workers < 1:
+        raise TrainingError("workers must be >= 1")
+    ids = np.arange(num_nodes, dtype=np.int64)
+    return [ids[ids % workers == w] for w in range(workers)]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    # tanh form is numerically stable for large |x|.
+    return 0.5 * (1.0 + np.tanh(0.5 * x))
+
+
+def _shared_zeros(shape) -> np.ndarray:
+    """A numpy view over an unlocked shared-memory buffer.
+
+    ``RawArray`` allocates an anonymous shared mmap, so forked children
+    and the parent see one another's writes; there is deliberately no
+    lock (hogwild updates race by design, averaging never writes the
+    same slab twice).
+    """
+    size = int(np.prod(shape))
+    raw = mp.RawArray(ctypes.c_double, size)
+    return np.frombuffer(raw, dtype=np.float64).reshape(shape)
+
+
+class ParallelSkipGramTrainer:
+    """Trains per-relationship embedding tables across sharded workers.
+
+    Constructor signature mirrors :class:`~repro.core.trainer.SkipGramTrainer`
+    (schemes, split, config, rng); the difference is the trained object —
+    shared-memory embedding tables updated by word2vec-style sparse SGD
+    instead of an autograd model stepped by Adam, because dense optimiser
+    state over million-node tables is exactly what does not scale.
+
+    ``fit`` returns the same :class:`~repro.core.trainer.TrainingHistory`
+    (validation ROC-AUC early stopping, best-epoch restore); trained
+    tables come out as an :class:`~repro.core.persistence.EmbeddingStore`
+    via :meth:`embeddings`, pluggable into every evaluator and the serving
+    stack.
+    """
+
+    def __init__(
+        self,
+        schemes_by_relation: Dict[str, List[MetapathScheme]],
+        split: EdgeSplit,
+        config: Optional[ParallelTrainerConfig] = None,
+        rng: SeedLike = None,
+    ):
+        self.schemes_by_relation = schemes_by_relation
+        self.split = split
+        self.config = ParallelTrainerConfig() if config is None else config
+        self.profiler = StageProfiler()
+        self._rng = as_rng(rng)
+        graph = split.train_graph
+        self.graph = graph
+        self._negative_sampler = UnigramNegativeSampler(
+            graph, rng=spawn_rng(self._rng)
+        )
+        self._adjacency = TypedAdjacencyCache(graph)
+        self._shards = shard_nodes(graph.num_nodes, self.config.workers)
+        # Walk starts per (worker, node type): shard ∩ nodes_of_type,
+        # precomputed so workers do no shard arithmetic on the hot path.
+        self._shard_starts: List[Dict[str, np.ndarray]] = [
+            {
+                node_type: shard[
+                    graph.node_type_codes[shard]
+                    == graph.schema.node_type_index(node_type)
+                ]
+                for node_type in graph.schema.node_types
+            }
+            for shard in self._shards
+        ]
+        # Linear scaling rule: parameter averaging divides every worker's
+        # delta by K, so K-worker averaging steps K× larger to keep
+        # per-epoch progress comparable to the single-worker baseline.
+        # workers=1 (the deterministic mode) is never scaled.
+        self._effective_lr = self.config.learning_rate * (
+            self.config.workers
+            if self.config.update_mode == "average" and self.config.workers > 1
+            else 1
+        )
+        self._tables = self._init_tables()
+        # loss sums / batch counts per worker, shared so forked workers
+        # can report without a pipe round-trip.
+        self._stats = _shared_zeros((2, self.config.workers))
+        self._slabs: Optional[List[Dict[str, np.ndarray]]] = None
+        self._prewarm_adjacency()
+
+    # -- shared state --------------------------------------------------
+    def _init_tables(self) -> Dict[str, np.ndarray]:
+        graph, config = self.graph, self.config
+        tables: Dict[str, np.ndarray] = {}
+        bound = 0.5 / config.dim
+        for relation in graph.schema.relationships:
+            table = _shared_zeros((graph.num_nodes, config.dim))
+            table[:] = self._rng.uniform(
+                -bound, bound, size=(graph.num_nodes, config.dim)
+            )
+            tables[relation] = table
+        # Context (output) table starts at zero, the word2vec convention.
+        tables[CONTEXT_KEY] = _shared_zeros((graph.num_nodes, config.dim))
+        return tables
+
+    def _prewarm_adjacency(self) -> None:
+        """Build every typed-CSR view once, pre-fork.
+
+        The cache fills lazily; warming it in the parent means forked
+        workers inherit finished views copy-on-write instead of each
+        rebuilding them.
+        """
+        for relation, schemes in self.schemes_by_relation.items():
+            for scheme in schemes:
+                for node_type in set(scheme.node_types):
+                    self._adjacency.view(relation, node_type)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: table.copy() for name, table in self._tables.items()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for name, table in self._tables.items():
+            table[:] = state[name]
+
+    def embeddings(self) -> EmbeddingStore:
+        """The trained relationship-specific tables as an EmbeddingStore."""
+        return EmbeddingStore(
+            {
+                relation: table.copy()
+                for relation, table in self._tables.items()
+                if relation != CONTEXT_KEY
+            }
+        )
+
+    # -- sample stage (per worker) -------------------------------------
+    def _shard_pairs(
+        self, worker: int, relation: str, rng: np.random.Generator
+    ) -> Optional[np.ndarray]:
+        """Context pairs from walks started inside ``worker``'s shard.
+
+        Walk *starts* are owned nodes only; the walks themselves traverse
+        the full shared CSR, so shard boundaries never truncate contexts.
+        """
+        graph, config = self.graph, self.config
+        starts_by_type = self._shard_starts[worker]
+        parts = []
+        for scheme in self.schemes_by_relation.get(relation, []):
+            starts = starts_by_type[scheme.start_type]
+            if len(starts) == 0:
+                continue
+            walker = MetapathWalker(
+                graph, scheme, rng=spawn_rng(rng), adjacency=self._adjacency
+            )
+            parts.append(
+                walker.walks_matrix(
+                    config.num_walks, config.walk_length, starts=starts
+                )
+            )
+        if parts:
+            matrix, lengths = concat_matrices(parts)
+            keep = lengths > 1
+        else:
+            matrix = np.empty((0, config.walk_length), dtype=np.int64)
+            lengths = np.empty(0, dtype=np.int64)
+            keep = np.zeros(0, dtype=bool)
+        if not keep.any() and graph.num_edges_in(relation) > 0:
+            fallback = UniformRandomWalker(
+                graph, relation=relation, rng=spawn_rng(rng)
+            )
+            matrix, lengths = fallback.walks_matrix(
+                config.num_walks, config.walk_length,
+                nodes=self._shards[worker],
+            )
+            keep = lengths > 1
+        matrix, lengths = matrix[keep], lengths[keep]
+        if len(matrix) == 0:
+            return None
+        pairs = context_pairs((matrix, lengths), config.window)
+        return pairs if len(pairs) else None
+
+    # -- update stage (per worker) -------------------------------------
+    def _sgd_batch(
+        self,
+        w_in: np.ndarray,
+        w_out: np.ndarray,
+        centers: np.ndarray,
+        contexts: np.ndarray,
+        negatives: np.ndarray,
+    ) -> float:
+        """One sparse skip-gram SGD step (Eq. 13); returns the batch loss.
+
+        Gathers copy rows, so gradients are computed against a consistent
+        snapshot even while other hogwild workers scatter into the same
+        tables; ``np.add.at`` handles duplicate ids within the batch.
+        """
+        lr = self._effective_lr
+        h = w_in[centers]
+        c_pos = w_out[contexts]
+        pos_sig = _sigmoid(np.einsum("bd,bd->b", h, c_pos))
+        c_neg = w_out[negatives]
+        neg_sig = _sigmoid(np.einsum("bd,bkd->bk", h, c_neg))
+        g_pos = pos_sig - 1.0
+        g_neg = neg_sig
+        grad_h = g_pos[:, None] * c_pos + np.einsum(
+            "bk,bkd->bd", g_neg, c_neg
+        )
+        np.add.at(w_in, centers, -lr * grad_h)
+        np.add.at(w_out, contexts, -lr * g_pos[:, None] * h)
+        np.add.at(
+            w_out,
+            negatives.reshape(-1),
+            (-lr * g_neg[..., None] * h[:, None, :]).reshape(
+                -1, self.config.dim
+            ),
+        )
+        eps = 1e-10
+        return float(
+            -(np.log(pos_sig + eps).mean()
+              + np.log(1.0 - neg_sig + eps).sum(axis=1).mean())
+        )
+
+    def _worker_epoch(
+        self,
+        worker: int,
+        rng: np.random.Generator,
+        tables: Dict[str, np.ndarray],
+    ) -> None:
+        """One epoch of one worker: sample → batch → update on its shard.
+
+        ``tables`` is either the shared master (hogwild) or a private
+        copy (averaging).  Loss sum and batch count land in the shared
+        stats buffer.
+        """
+        config = self.config
+        loss_sum = 0.0
+        batch_count = 0
+        w_out = tables[CONTEXT_KEY]
+        for relation in self.graph.schema.relationships:
+            pairs = self._shard_pairs(worker, relation, rng)
+            if pairs is None:
+                continue
+            w_in = tables[relation]
+            order = rng.permutation(len(pairs))
+            for start in range(0, len(pairs), config.batch_size):
+                batch = pairs[order[start: start + config.batch_size]]
+                centers, contexts = batch[:, 0], batch[:, 1]
+                negatives = self._negative_sampler.sample_like(
+                    contexts, config.num_negatives, rng=rng
+                )
+                loss_sum += self._sgd_batch(
+                    w_in, w_out, centers, contexts, negatives
+                )
+                batch_count += 1
+        self._stats[0, worker] = loss_sum
+        self._stats[1, worker] = batch_count
+
+    def _worker_epoch_average(
+        self,
+        worker: int,
+        rng: np.random.Generator,
+        snapshot: Dict[str, np.ndarray],
+    ) -> None:
+        """Averaging-mode worker: train a private copy, publish to a slab."""
+        local = {name: table.copy() for name, table in snapshot.items()}
+        self._worker_epoch(worker, rng, local)
+        slab = self._slabs[worker]
+        for name, table in local.items():
+            slab[name][:] = table
+
+    # -- epoch orchestration (parent) ----------------------------------
+    def _ensure_slabs(self) -> None:
+        if self._slabs is not None:
+            return
+        self._slabs = [
+            {
+                name: _shared_zeros(table.shape)
+                for name, table in self._tables.items()
+            }
+            for _ in range(self.config.workers)
+        ]
+
+    @staticmethod
+    def _fork_available() -> bool:
+        return "fork" in mp.get_all_start_methods()
+
+    def _run_workers(self, targets) -> None:
+        """Run worker thunks — forked when possible, else sequentially.
+
+        Sequential execution keeps the trainer usable (and, for averaging,
+        semantically identical) on platforms without ``fork``; it simply
+        forfeits the speedup.
+        """
+        if len(targets) > 1 and self._fork_available():
+            ctx = mp.get_context("fork")
+            procs = [ctx.Process(target=target) for target in targets]
+            for proc in procs:
+                proc.start()
+            for proc in procs:
+                proc.join()
+            failed = [p.exitcode for p in procs if p.exitcode != 0]
+            if failed:
+                raise TrainingError(
+                    f"{len(failed)} training worker(s) exited with codes "
+                    f"{failed}"
+                )
+        else:
+            for target in targets:
+                target()
+
+    def _train_epoch(self) -> float:
+        config = self.config
+        self._stats[:] = 0.0
+        rngs = spawn_rngs(self._rng, config.workers)
+        with self.profiler.stage("train.parallel_epoch"):
+            if config.workers == 1:
+                # Deterministic mode: single worker, in-process, both
+                # update modes collapse to the same sequential update.
+                self._worker_epoch(0, rngs[0], self._tables)
+            elif config.update_mode == "hogwild":
+                self._run_workers([
+                    (lambda w=w: self._worker_epoch(w, rngs[w], self._tables))
+                    for w in range(config.workers)
+                ])
+            else:  # average
+                self._ensure_slabs()
+                snapshot = {
+                    name: table.copy()
+                    for name, table in self._tables.items()
+                }
+                self._run_workers([
+                    (lambda w=w: self._worker_epoch_average(
+                        w, rngs[w], snapshot))
+                    for w in range(config.workers)
+                ])
+                for name, table in self._tables.items():
+                    table[:] = np.mean(
+                        [slab[name] for slab in self._slabs], axis=0
+                    )
+        total_loss = float(self._stats[0].sum())
+        total_batches = float(self._stats[1].sum())
+        return total_loss / max(1.0, total_batches)
+
+    def _validation_score(self) -> Optional[float]:
+        if not self.split.val:
+            return None
+        with self.profiler.stage("eval.validation"):
+            report = evaluate_link_prediction(self.embeddings(), self.split.val)
+        return report["roc_auc"]
+
+    # ------------------------------------------------------------------
+    def fit(self) -> TrainingHistory:
+        """Train with validation early stopping; restores the best tables.
+
+        The epoch/early-stop/restore protocol matches
+        :meth:`SkipGramTrainer.fit` exactly, so histories are comparable
+        across the two executors.
+        """
+        config = self.config
+        history = TrainingHistory()
+        best_state = None
+        epochs_since_best = 0
+
+        for epoch in range(config.epochs):
+            loss = self._train_epoch()
+            history.losses.append(loss)
+            val_score = self._validation_score()
+            if val_score is not None:
+                history.val_scores.append(val_score)
+                if val_score > history.best_val_score:
+                    history.best_val_score = val_score
+                    history.best_epoch = epoch
+                    best_state = self.state_dict()
+                    epochs_since_best = 0
+                else:
+                    epochs_since_best += 1
+            if val_score is not None and epochs_since_best >= config.patience:
+                history.stopped_early = True
+                break
+
+        if best_state is not None:
+            self.load_state_dict(best_state)
+        return history

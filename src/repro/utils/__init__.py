@@ -1,6 +1,6 @@
 """Small shared utilities: RNG handling, validation and text formatting."""
 
-from repro.utils.rng import as_rng, spawn_rng
+from repro.utils.rng import as_rng, spawn_rng, spawn_rngs
 from repro.utils.validation import (
     check_fraction,
     check_positive,
@@ -11,6 +11,7 @@ from repro.utils.tables import format_table
 __all__ = [
     "as_rng",
     "spawn_rng",
+    "spawn_rngs",
     "check_fraction",
     "check_positive",
     "check_probability_vector",

@@ -9,7 +9,7 @@ subcomponent via :func:`spawn_rng`.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 
@@ -36,6 +36,32 @@ def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
     The child's stream is a deterministic function of the parent's state, so
     components seeded via ``spawn_rng`` stay reproducible while not sharing
     (and hence not perturbing) the parent's stream.
+
+    The child is seeded from a single 63-bit draw, which is fine for the
+    handful of sequential spawns the trainer makes but collision-prone when
+    fanning out a large worker pool (birthday bound ~2^31.5 spawns; far
+    worse, two children spawned from *equal* draws share a stream exactly).
+    Worker pools must use :func:`spawn_rngs`, which derives children through
+    ``numpy.random.SeedSequence`` spawn keys that are distinct by
+    construction.  Kept bit-compatible: existing components seeded through
+    this function reproduce their historical streams.
     """
     seed = int(rng.integers(0, 2**63 - 1))
     return np.random.default_rng(seed)
+
+
+def spawn_rngs(rng: np.random.Generator, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` independent child generators for a worker pool.
+
+    One 128-bit entropy draw from ``rng`` seeds a
+    :class:`numpy.random.SeedSequence`, whose ``spawn`` assigns each child a
+    distinct spawn key — children can never collide with each other, no
+    matter how many are spawned, unlike repeated :func:`spawn_rng` calls
+    whose single-integer seeds can.  Deterministic: the same parent state
+    always yields the same n streams.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    entropy = [int(word) for word in rng.integers(0, 2**63 - 1, size=4)]
+    children = np.random.SeedSequence(entropy).spawn(n)
+    return [np.random.default_rng(child) for child in children]

@@ -50,6 +50,7 @@ from repro.verify.oracles import (
     service_oracles,
     serving_oracles,
 )
+from repro.verify.parallel_oracles import AUC_TOLERANCE, parallel_oracles
 
 __all__ = [
     "GradCheckCase",
@@ -67,6 +68,8 @@ __all__ = [
     "uncovered_targets",
     "OracleResult",
     "RECALL_TOLERANCE",
+    "AUC_TOLERANCE",
+    "parallel_oracles",
     "format_oracle_table",
     "index_oracles",
     "metric_oracles",

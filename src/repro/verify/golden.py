@@ -32,6 +32,7 @@ __all__ = [
     "GoldenEntry",
     "GoldenCheck",
     "GOLDEN_MODELS",
+    "SCALE_BENCH_DATASETS",
     "DEFAULT_SEED",
     "DEFAULT_TOLERANCE",
     "golden_dir",
@@ -48,6 +49,12 @@ __all__ = [
 #: walk-based, edge-sampling, full-batch GNN) — fast enough for CI while
 #: covering every training code path.
 GOLDEN_MODELS: Tuple[str, ...] = ("HybridGNN", "DeepWalk", "LINE", "GCN")
+
+#: Benchmark-scale alikes excluded from the default golden grid: even at
+#: the smoke profile they are hundreds of thousands of nodes, and the
+#: sharded trainer they exist for is gated by the ``parallel`` verify
+#: suite and ``benchmarks/bench_training.py`` instead.
+SCALE_BENCH_DATASETS: Tuple[str, ...] = ("taobao-xl",)
 
 DEFAULT_SEED = 0
 DEFAULT_PROFILE = "smoke"
@@ -122,7 +129,10 @@ def golden_targets(
     """The (dataset, model) grid the corpus covers."""
     from repro.datasets import available_datasets
 
-    datasets = list(datasets) if datasets else list(available_datasets())
+    datasets = list(datasets) if datasets else [
+        name for name in available_datasets()
+        if name not in SCALE_BENCH_DATASETS
+    ]
     models = list(models) if models else list(GOLDEN_MODELS)
     return [(dataset, model) for dataset in datasets for model in models]
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -11,6 +13,7 @@ from repro.core import (
     SkipGramTrainer,
     TrainerConfig,
 )
+from repro.datasets import split_edges
 from repro.eval import evaluate_link_prediction
 
 
@@ -151,3 +154,159 @@ class TestMaxBatchesCap:
         )
         history = trainer.fit()
         assert len(history.losses) == 1
+
+    def test_loss_averaged_over_truncated_batches(self, setup):
+        """The epoch loss divides by the capped batch count, not the full
+        pre-cap count — otherwise truncated epochs report deflated losses."""
+        _, trainer = setup
+        trainer.config = dataclasses.replace(
+            trainer.config, max_batches_per_epoch=3)
+        pairs = trainer.generate_pairs()
+        batches = trainer.make_batches(pairs)
+        assert len(batches) == 3
+        seen = {}
+        trainer._run_batches = lambda bs: seen.setdefault("count", len(bs)) * 2.0
+        loss = trainer.apply_updates(batches)
+        assert seen["count"] == 3
+        assert loss == pytest.approx(2.0)  # (3 * 2.0) / 3 batches
+
+
+class TestStagedPipeline:
+    def _twin(self, taobao_dataset, taobao_split, tiny_hybrid_config,
+              tiny_trainer_config):
+        model = HybridGNN(
+            taobao_split.train_graph, taobao_dataset.all_schemes(),
+            tiny_hybrid_config, rng=0,
+        )
+        trainer = SkipGramTrainer(
+            model, taobao_dataset.all_schemes(), taobao_split,
+            tiny_trainer_config, rng=1,
+        )
+        return model, trainer
+
+    def test_staged_fit_bit_identical_to_reference(
+            self, taobao_dataset, taobao_split, tiny_hybrid_config,
+            tiny_trainer_config):
+        """The sample→batch→update decomposition must not move a single
+        bit relative to the pre-refactor monolithic loop."""
+        model_a, staged = self._twin(
+            taobao_dataset, taobao_split, tiny_hybrid_config,
+            tiny_trainer_config)
+        model_b, reference = self._twin(
+            taobao_dataset, taobao_split, tiny_hybrid_config,
+            tiny_trainer_config)
+        hist_a = staged.fit()
+        hist_b = reference._reference_fit()
+        assert hist_a.losses == hist_b.losses
+        assert hist_a.val_scores == hist_b.val_scores
+        assert hist_a.best_epoch == hist_b.best_epoch
+        state_a, state_b = model_a.state_dict(), model_b.state_dict()
+        assert set(state_a) == set(state_b)
+        for name, value in state_a.items():
+            np.testing.assert_array_equal(value, state_b[name])
+
+    def test_make_batches_respects_size_and_content(self, setup):
+        _, trainer = setup
+        pairs = trainer.generate_pairs()
+        batches = trainer.make_batches(pairs)
+        size = trainer.config.batch_size
+        per_relation = {relation: [] for relation in pairs}
+        for relation, batch in batches:
+            assert 1 <= len(batch) <= size
+            per_relation[relation].append(batch)
+        for relation, relation_pairs in pairs.items():
+            got = np.concatenate(per_relation[relation])
+            assert sorted(map(tuple, got.tolist())) == sorted(
+                map(tuple, relation_pairs.tolist()))
+
+
+class TestResampleWalks:
+    def _counting_trainer(self, setup, **overrides):
+        _, trainer = setup
+        trainer.config = dataclasses.replace(trainer.config, **overrides)
+        sampled = []
+        original = trainer.generate_pairs
+
+        def recording_generate():
+            pairs = original()
+            sampled.append(pairs)
+            return pairs
+
+        trainer.generate_pairs = recording_generate
+        return trainer, sampled
+
+    def test_default_reuses_pairs_across_epochs(self, setup):
+        trainer, sampled = self._counting_trainer(
+            setup, epochs=3, patience=10)
+        trainer.fit()
+        assert len(sampled) == 1
+
+    def test_resample_gives_fresh_pairs_from_second_epoch(self, setup):
+        trainer, sampled = self._counting_trainer(
+            setup, epochs=3, patience=10, resample_walks_every=1)
+        history = trainer.fit()
+        assert len(history.losses) == 3
+        assert len(sampled) == 3  # initial + epochs 2 and 3
+        first, second = sampled[0], sampled[1]
+        assert any(
+            first[relation].shape != second[relation].shape
+            or not np.array_equal(first[relation], second[relation])
+            for relation in first
+        )
+
+    def test_resample_every_two(self, setup):
+        trainer, sampled = self._counting_trainer(
+            setup, epochs=4, patience=10, resample_walks_every=2)
+        trainer.fit()
+        assert len(sampled) == 2  # initial + epoch 3 (index 2)
+
+    def test_negative_resample_rejected(self):
+        from repro.errors import TrainingError
+        with pytest.raises(TrainingError):
+            TrainerConfig(resample_walks_every=-1)
+
+
+class TestNoValidationSplit:
+    @pytest.fixture
+    def val_free_setup(self, taobao_dataset, tiny_hybrid_config):
+        split = split_edges(
+            taobao_dataset.graph, train_fraction=0.85, val_fraction=0.0,
+            rng=8)
+        assert not split.val
+        model = HybridGNN(
+            split.train_graph, taobao_dataset.all_schemes(),
+            tiny_hybrid_config, rng=0,
+        )
+        trainer = SkipGramTrainer(
+            model, taobao_dataset.all_schemes(), split,
+            TrainerConfig(epochs=3, batch_size=128, num_walks=1,
+                          walk_length=6, window=2, patience=1,
+                          max_batches_per_epoch=2),
+            rng=1,
+        )
+        return model, trainer
+
+    def test_no_best_state_and_sentinel_epoch(self, val_free_setup):
+        model, trainer = val_free_setup
+        history = trainer.fit()
+        assert history.best_epoch == -1
+        assert history.best_val_score == float("-inf")
+        assert history.val_scores == []
+
+    def test_final_parameters_kept_without_restore(self, val_free_setup):
+        """With no val split there is no best-state snapshot: fit() must
+        leave the parameters exactly where the last update put them."""
+        model, trainer = val_free_setup
+        restored = []
+        original = model.load_state_dict
+        model.load_state_dict = lambda state: restored.append(state) or original(state)
+        trainer.fit()
+        assert restored == []
+
+    def test_early_stop_counter_never_advances(self, val_free_setup):
+        """patience=1 with no val scores must still run every epoch —
+        the early-stop counter only moves when a val score exists."""
+        _, trainer = val_free_setup
+        history = trainer.fit()
+        assert len(history.losses) == trainer.config.epochs
+        assert not history.stopped_early

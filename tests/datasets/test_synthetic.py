@@ -142,3 +142,78 @@ class TestGeneratedGraphs:
         degrees = np.sort(graph.degrees())[::-1]
         top_share = degrees[: len(degrees) // 10].sum() / max(1, degrees.sum())
         assert top_share > 0.2  # top-10% of nodes hold >20% of the edges
+
+
+class TestVectorizedEngine:
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(DatasetError):
+            simple_config(engine="gpu")
+
+    def test_loop_default_unchanged(self):
+        """engine='loop' is the default and must equal the implicit form —
+        the golden corpus depends on this stream staying put."""
+        implicit = generate_graph(simple_config(), rng=0)
+        explicit = generate_graph(simple_config(engine="loop"), rng=0)
+        for relation in implicit.schema.relationships:
+            for a, b in zip(implicit.edges(relation), explicit.edges(relation)):
+                np.testing.assert_array_equal(a, b)
+
+    def test_vectorized_deterministic(self):
+        first = generate_graph(simple_config(engine="vectorized"), rng=3)
+        second = generate_graph(simple_config(engine="vectorized"), rng=3)
+        for relation in first.schema.relationships:
+            for a, b in zip(first.edges(relation), second.edges(relation)):
+                np.testing.assert_array_equal(a, b)
+
+    def test_vectorized_integrity(self):
+        """Exact edge counts, valid endpoint types, no self loops, no
+        duplicate undirected pairs — the loop engine's invariants."""
+        config = simple_config(engine="vectorized")
+        graph = generate_graph(config, rng=1)
+        for spec in config.relationships:
+            src, dst = graph.edges(spec.name)
+            assert len(src) == spec.num_edges
+            assert all(graph.node_type(int(u)) == spec.src_type for u in src[:50])
+            assert all(graph.node_type(int(v)) == spec.dst_type for v in dst[:50])
+            assert np.all(src != dst)
+            low = np.minimum(src, dst)
+            high = np.maximum(src, dst)
+            keys = low * graph.num_nodes + high
+            assert len(np.unique(keys)) == len(keys)
+
+    def test_vectorized_overlap_creates_multiplex_pairs(self):
+        config = simple_config(engine="vectorized")
+        graph = generate_graph(config, rng=2)
+        buy_src, buy_dst = graph.edges("buy")
+        shared = sum(
+            graph.has_edge(int(u), int(v), "view")
+            for u, v in zip(buy_src, buy_dst)
+        )
+        assert shared / len(buy_src) > 0.3
+
+    def test_vectorized_degree_skew(self):
+        config = simple_config(engine="vectorized", popularity_skew=1.0)
+        graph = generate_graph(config, rng=0)
+        degrees = np.sort(graph.degrees())[::-1]
+        top_share = degrees[: len(degrees) // 10].sum() / max(1, degrees.sum())
+        assert top_share > 0.2
+
+    def test_vectorized_scales_past_loop_regime(self):
+        """A 100k-node graph generates in seconds — the regime where the
+        per-edge loop engine becomes unusable."""
+        config = SyntheticConfig(
+            node_counts={"user": 60_000, "item": 40_000},
+            relationships=(
+                RelationshipSpec("view", "user", "item", 200_000, noise=0.1),
+                RelationshipSpec(
+                    "buy", "user", "item", 80_000,
+                    overlap_with="view", overlap=0.4, community_shift=1,
+                ),
+            ),
+            num_communities=16,
+            engine="vectorized",
+        )
+        graph = generate_graph(config, rng=5)
+        assert graph.num_nodes == 100_000
+        assert graph.num_edges_in("view") == 200_000
+        assert graph.num_edges_in("buy") == 80_000

@@ -66,7 +66,7 @@ class TestZooSchemas:
 
     def test_available_datasets(self):
         assert available_datasets() == [
-            "amazon", "imdb", "kuaishou", "taobao", "youtube",
+            "amazon", "imdb", "kuaishou", "taobao", "taobao-xl", "youtube",
         ]
 
 

@@ -1,0 +1,197 @@
+"""Sharded multi-worker trainer: shard plan, determinism, update modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import EmbeddingStore
+from repro.datasets import split_edges
+from repro.errors import TrainingError
+from repro.eval import evaluate_link_prediction
+from repro.train import (
+    ParallelSkipGramTrainer,
+    ParallelTrainerConfig,
+    shard_nodes,
+)
+
+SMOKE = dict(dim=16, epochs=2, batch_size=512, num_walks=1, walk_length=6,
+             window=2)
+
+
+@pytest.fixture
+def make_trainer(taobao_dataset, taobao_split):
+    def factory(rng=5, **overrides):
+        merged = {**SMOKE, **overrides}
+        config = ParallelTrainerConfig(**merged)
+        return ParallelSkipGramTrainer(
+            taobao_dataset.all_schemes(), taobao_split, config, rng=rng)
+    return factory
+
+
+class TestShardPlan:
+    def test_disjoint_and_complete(self):
+        for workers in (1, 2, 3, 7):
+            shards = shard_nodes(101, workers)
+            assert len(shards) == workers
+            merged = np.sort(np.concatenate(shards))
+            np.testing.assert_array_equal(merged, np.arange(101))
+
+    def test_round_robin_ownership(self):
+        shards = shard_nodes(10, 3)
+        for worker, shard in enumerate(shards):
+            assert np.all(shard % 3 == worker)
+
+    def test_more_workers_than_nodes(self):
+        shards = shard_nodes(2, 5)
+        sizes = [len(s) for s in shards]
+        assert sizes == [1, 1, 0, 0, 0]
+
+    def test_invalid_workers(self):
+        with pytest.raises(TrainingError):
+            shard_nodes(10, 0)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        ParallelTrainerConfig()
+
+    @pytest.mark.parametrize("overrides", [
+        {"workers": 0},
+        {"update_mode": "ring-allreduce"},
+        {"dim": 0},
+        {"num_negatives": 0},
+        {"epochs": 0},
+        {"batch_size": 0},
+        {"learning_rate": 0.0},
+        {"walk_length": 1},
+        {"window": 0},
+        {"patience": 0},
+    ])
+    def test_invalid_rejected(self, overrides):
+        with pytest.raises(TrainingError):
+            ParallelTrainerConfig(**overrides)
+
+
+class TestDeterminism:
+    def test_single_worker_bit_identical_across_runs(self, make_trainer):
+        first = make_trainer(workers=1)
+        second = make_trainer(workers=1)
+        hist_a, hist_b = first.fit(), second.fit()
+        assert hist_a.losses == hist_b.losses
+        assert hist_a.val_scores == hist_b.val_scores
+        state_a, state_b = first.state_dict(), second.state_dict()
+        assert set(state_a) == set(state_b)
+        for name, value in state_a.items():
+            np.testing.assert_array_equal(value, state_b[name])
+
+    def test_average_mode_deterministic_for_two_workers(self, make_trainer):
+        first = make_trainer(workers=2, update_mode="average")
+        second = make_trainer(workers=2, update_mode="average")
+        hist_a, hist_b = first.fit(), second.fit()
+        assert hist_a.losses == hist_b.losses
+        for name, value in first.state_dict().items():
+            np.testing.assert_array_equal(value, second.state_dict()[name])
+
+    def test_single_worker_mode_ignores_update_mode(self, make_trainer):
+        hogwild = make_trainer(workers=1, update_mode="hogwild")
+        average = make_trainer(workers=1, update_mode="average")
+        hist_a, hist_b = hogwild.fit(), average.fit()
+        assert hist_a.losses == hist_b.losses
+        for name, value in hogwild.state_dict().items():
+            np.testing.assert_array_equal(value, average.state_dict()[name])
+
+
+class TestTraining:
+    def test_loss_decreases(self, make_trainer):
+        trainer = make_trainer(workers=1, epochs=3)
+        history = trainer.fit()
+        assert history.losses[-1] < history.losses[0]
+
+    def test_validation_tracked_and_best_restored(self, make_trainer):
+        trainer = make_trainer(workers=1, epochs=3)
+        snapshots = []
+        original = trainer._validation_score
+
+        def recording():
+            score = original()
+            snapshots.append(trainer.state_dict())
+            return score
+
+        trainer._validation_score = recording
+        history = trainer.fit()
+        assert len(history.val_scores) == len(history.losses)
+        assert history.best_epoch >= 0
+        best = snapshots[history.best_epoch]
+        for name, value in trainer.state_dict().items():
+            np.testing.assert_array_equal(value, best[name])
+
+    def test_training_improves_over_init(self, make_trainer, taobao_split):
+        trainer = make_trainer(workers=1, epochs=4)
+        before = evaluate_link_prediction(
+            trainer.embeddings(), taobao_split.test)["roc_auc"]
+        trainer.fit()
+        after = evaluate_link_prediction(
+            trainer.embeddings(), taobao_split.test)["roc_auc"]
+        assert after > before
+
+    @pytest.mark.parametrize("mode", ["hogwild", "average"])
+    def test_two_workers_reach_single_worker_quality(self, make_trainer, mode):
+        baseline = make_trainer(workers=1)
+        parallel = make_trainer(workers=2, update_mode=mode)
+        hist_1 = baseline.fit()
+        hist_k = parallel.fit()
+        # AUC tolerance on the [0, 1] scale (metrics are reported in %).
+        assert abs(hist_k.best_val_score - hist_1.best_val_score) / 100 < 0.05
+
+    def test_no_validation_split(self, taobao_dataset):
+        split = split_edges(taobao_dataset.graph, train_fraction=0.85,
+                            val_fraction=0.0, rng=8)
+        trainer = ParallelSkipGramTrainer(
+            taobao_dataset.all_schemes(), split,
+            ParallelTrainerConfig(**SMOKE), rng=5)
+        history = trainer.fit()
+        assert history.best_epoch == -1
+        assert history.val_scores == []
+        assert len(history.losses) == 2
+
+    def test_sequential_fallback_without_fork(self, make_trainer, monkeypatch):
+        trainer = make_trainer(workers=2, update_mode="hogwild", epochs=1)
+        monkeypatch.setattr(
+            ParallelSkipGramTrainer, "_fork_available",
+            staticmethod(lambda: False))
+        history = trainer.fit()
+        assert len(history.losses) == 1
+        assert np.isfinite(history.losses[0])
+
+
+class TestEmbeddings:
+    def test_store_covers_relations(self, make_trainer, taobao_split):
+        trainer = make_trainer(workers=1, epochs=1)
+        trainer.fit()
+        store = trainer.embeddings()
+        assert isinstance(store, EmbeddingStore)
+        graph = taobao_split.train_graph
+        assert set(store.relations) == set(graph.schema.relationships)
+        vectors = store.node_embeddings(np.asarray([0, 1]),
+                                        store.relations[0])
+        assert vectors.shape == (2, SMOKE["dim"])
+
+    def test_store_is_a_copy(self, make_trainer):
+        trainer = make_trainer(workers=1, epochs=1)
+        trainer.fit()
+        store = trainer.embeddings()
+        relation = store.relations[0]
+        before = store.tables[relation].copy()
+        trainer._tables[relation][:] += 1.0
+        np.testing.assert_array_equal(store.tables[relation], before)
+
+    def test_state_dict_round_trip(self, make_trainer):
+        trainer = make_trainer(workers=1, epochs=1)
+        trainer.fit()
+        state = trainer.state_dict()
+        for table in trainer._tables.values():
+            table[:] = 0.0
+        trainer.load_state_dict(state)
+        for name, value in trainer.state_dict().items():
+            np.testing.assert_array_equal(value, state[name])

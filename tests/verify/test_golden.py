@@ -30,9 +30,14 @@ METRIC_KEYS = {"roc_auc", "pr_auc", "f1"}
 class TestCorpusShape:
     def test_target_grid_covers_all_datasets_and_models(self):
         from repro.datasets import available_datasets
+        from repro.verify.golden import SCALE_BENCH_DATASETS
 
         targets = golden_targets()
-        assert len(targets) == len(available_datasets()) * len(GOLDEN_MODELS)
+        golden_datasets = [
+            d for d in available_datasets() if d not in SCALE_BENCH_DATASETS
+        ]
+        assert len(targets) == len(golden_datasets) * len(GOLDEN_MODELS)
+        assert {d for d, _ in targets} == set(golden_datasets)
         assert {model for _, model in targets} == set(GOLDEN_MODELS)
         assert "HybridGNN" in GOLDEN_MODELS and len(GOLDEN_MODELS) >= 4
 
