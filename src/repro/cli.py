@@ -27,10 +27,10 @@ Commands
 ``verify``
     Run the correctness verification suites (gradcheck registry,
     differential oracles, index recall oracles, sharded-trainer parallel
-    oracles, transfer-rule crosscheck, golden regression corpus); see
-    TESTING.md.
+    oracles, lock-discipline concurrency oracles, transfer-rule
+    crosscheck, golden regression corpus); see TESTING.md.
 ``lint``
-    Run the project's AST lint rules (R001-R008) over the source tree
+    Run the project's AST lint rules (R001-R012) over the source tree
     against the committed baseline; see TESTING.md.
 ``check-model``
     Statically check a model/dataset pair: trace one training step,
@@ -322,8 +322,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
     from repro import verify as verify_mod
 
     suites = (
-        ["gradcheck", "oracles", "index", "service", "parallel", "transfer",
-         "golden"]
+        ["gradcheck", "oracles", "index", "service", "parallel",
+         "concurrency", "transfer", "golden"]
         if args.suite == "all"
         else [args.suite]
     )
@@ -379,6 +379,12 @@ def cmd_verify(args: argparse.Namespace) -> int:
         print(verify_mod.format_oracle_table(results))
         ok &= all(r.passed for r in results)
         report["suites"]["parallel"] = [r.to_dict() for r in results]
+
+    if "concurrency" in suites:
+        results = verify_mod.concurrency_oracles(seed=args.seed)
+        print(verify_mod.format_oracle_table(results))
+        ok &= all(r.passed for r in results)
+        report["suites"]["concurrency"] = [r.to_dict() for r in results]
 
     if "transfer" in suites:
         # Lazy import: the static checker is not needed by the other suites.
@@ -577,7 +583,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("verify", help="run the correctness verification suites")
     p.add_argument("--suite", default="all",
                    choices=["all", "gradcheck", "oracles", "index",
-                            "service", "parallel", "transfer", "golden"])
+                            "service", "parallel", "concurrency",
+                            "transfer", "golden"])
     p.add_argument("--refresh-golden", action="store_true",
                    help="re-snapshot the golden corpus instead of checking it")
     p.add_argument("--datasets", default="",
@@ -603,7 +610,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "the stock model must pass, the variant must be flagged")
     p.set_defaults(func=cmd_check_model)
 
-    p = sub.add_parser("lint", help="run the project linter (AST rules R001-R008)")
+    p = sub.add_parser("lint", help="run the project linter (AST rules R001-R012)")
     from repro.lint.cli import add_lint_arguments
 
     add_lint_arguments(p)

@@ -49,6 +49,18 @@ class AnomalyError(SanitizerError):
     """``detect_anomaly()`` observed a NaN/Inf value during autograd."""
 
 
+class LockOrderError(ReproError):
+    """The lock-discipline sanitizer detected a lock-order hazard.
+
+    Raised by :mod:`repro.utils.concurrency` while the sanitizer is
+    enabled, either when acquiring a lock would complete a cycle in the
+    process-wide lock-acquisition-order graph (two threads taking the
+    same pair of locks in opposite orders — a latent deadlock) or when a
+    non-reentrant checked lock is re-acquired by the thread already
+    holding it (a guaranteed self-deadlock).
+    """
+
+
 class TrainingError(ReproError):
     """Model training failed or was configured inconsistently."""
 

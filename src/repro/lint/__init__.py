@@ -1,6 +1,6 @@
 """Static **code** analysis for the reproduction: the ``repro lint`` rules.
 
-Naming note: this package lints the *source tree* (AST rules R001–R007,
+Naming note: this package lints the *source tree* (AST rules R001–R012,
 suppression markers, committed baseline).  It is deliberately distinct
 from :mod:`repro.analysis`, which analyses *embeddings and results* —
 ``lint`` is about the code, ``analysis`` is about the model outputs.

@@ -1,0 +1,51 @@
+"""Shared scaffolding for lint rules.
+
+Lives in its own module so rule packs (:mod:`repro.lint.rules`,
+:mod:`repro.lint.concurrency`) can share the :class:`Rule` base class and
+AST helpers without importing each other — ``rules`` aggregates the packs
+into the ``RULES`` registry, so anything both packs need must sit below
+them in the import graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.engine import FileContext, Finding
+
+__all__ = ["Rule", "dotted"]
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    if isinstance(node, ast.Attribute):
+        base = dotted(node.value)
+        return f"{base}.{node.attr}" if base else None
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class Rule:
+    """One lint rule: a stable code, a fix hint, and an AST check."""
+
+    code: str = ""
+    name: str = ""
+    hint: str = ""
+
+    def applies_to(self, rel_path: str) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            code=self.code,
+            path=ctx.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=self.hint,
+        )

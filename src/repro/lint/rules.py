@@ -19,6 +19,15 @@ R007    wall-clock or environment reads (``time.time``, ``os.environ``)
         inside the deterministic core/nn/sampling paths
 R008    ``Tensor`` op implementations constructing result arrays with a
         hard-coded float dtype instead of inheriting the operand dtype
+R009    mutation of a ``# repro-lint: guarded-by=<lock>`` attribute
+        outside a ``with self.<lock>:`` scope (see
+        :mod:`repro.lint.concurrency`)
+R010    fork-unsafe state in multiprocessing worker functions (threading
+        primitives, module-level RNGs, returning shared-view results)
+R011    a numpy ``Generator`` shared across thread/worker boundaries
+        instead of per-worker ``spawn_rngs`` streams
+R012    blocking calls (``time.sleep``, I/O, ``.join()``) while holding
+        a lock/condition
 ======  ==============================================================
 
 Every finding carries a fix hint and can be silenced on its line with
@@ -30,43 +39,10 @@ from __future__ import annotations
 import ast
 from typing import Iterator, List, Optional, Set
 
+from repro.lint.base import Rule, dotted as _dotted
 from repro.lint.engine import FileContext, Finding
 
 __all__ = ["Rule", "all_rules", "RULES"]
-
-
-def _dotted(node: ast.AST) -> Optional[str]:
-    """``a.b.c`` for an Attribute/Name chain, else None."""
-    if isinstance(node, ast.Attribute):
-        base = _dotted(node.value)
-        return f"{base}.{node.attr}" if base else None
-    if isinstance(node, ast.Name):
-        return node.id
-    return None
-
-
-class Rule:
-    """One lint rule: a stable code, a fix hint, and an AST check."""
-
-    code: str = ""
-    name: str = ""
-    hint: str = ""
-
-    def applies_to(self, rel_path: str) -> bool:
-        return True
-
-    def check(self, ctx: FileContext) -> List[Finding]:
-        raise NotImplementedError
-
-    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
-        return Finding(
-            code=self.code,
-            path=ctx.rel_path,
-            line=getattr(node, "lineno", 1),
-            col=getattr(node, "col_offset", 0),
-            message=message,
-            hint=self.hint,
-        )
 
 
 class BareRandomRule(Rule):
@@ -517,6 +493,10 @@ class HardcodedDtypeRule(Rule):
         return findings
 
 
+# Imported here (not at the top) so the concurrency pack can reuse the
+# shared base without a circular import; see repro/lint/base.py.
+from repro.lint.concurrency import CONCURRENCY_RULES  # noqa: E402
+
 RULES = (
     BareRandomRule,
     MutableDefaultRule,
@@ -526,7 +506,7 @@ RULES = (
     GradcheckCoverageRule,
     EnvironmentReadRule,
     HardcodedDtypeRule,
-)
+) + CONCURRENCY_RULES
 
 
 def all_rules() -> List[Rule]:

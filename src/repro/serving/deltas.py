@@ -123,7 +123,13 @@ class DeltaGraphView:
             for relation in base.schema.relationships
         }
         self._new_type_codes: List[int] = []
-        self._merged_csr: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        # The merged-CSR cache is deliberately unsynchronised: the view
+        # owns no lock, and RecommendService serialises every reader and
+        # writer behind its _exec_lock (DESIGN.md lock-discipline
+        # contract).  The external: guard makes R009 surface every
+        # mutation site; the sanctioned ones are carried in the lint
+        # baseline with that justification.
+        self._merged_csr: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}  # repro-lint: guarded-by=external:RecommendService._exec_lock
         self._type_codes_cache: Optional[np.ndarray] = None
         self.version = 0        # bumps on every accepted mutation
         self.compactions = 0    # completed folds

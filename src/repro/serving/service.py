@@ -38,11 +38,21 @@ pool).  Between compactions, reads see merged (CSR + delta) views that
 are bit-identical to a from-scratch rebuild; at compaction the engine's
 embedding cache is invalidated, cascading to resident ANN indexes via the
 cache's version-clock listeners.
+
+Lock discipline (machine-checked; see DESIGN.md "Lock-discipline
+contract"): admission/batching state is guarded by ``_cond``, the graph
+view by ``_exec_lock`` — the ``guarded-by`` annotations below drive lint
+rule R009, and both locks are :mod:`repro.utils.concurrency` checked
+primitives feeding the opt-in runtime lock-order sanitizer.  The two
+locks are deliberately never nested: ``_drive`` releases ``_cond``
+before ``_execute`` takes ``_exec_lock``, and the short ``_cond``
+section inside ``_execute`` runs before the execution lock is acquired,
+so the acquisition-order graph stays edge-free and deadlock-free by
+construction.
 """
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
@@ -54,6 +64,11 @@ from repro.perf import StageProfiler
 from repro.serving.deltas import DeltaGraphView
 from repro.serving.engine import BatchServingEngine, _percentiles
 from repro.serving.pools import relation_endpoint_types
+from repro.utils.concurrency import (
+    checked_condition,
+    checked_rlock,
+    register_shared_region,
+)
 
 __all__ = [
     "ColdStartEmbedder",
@@ -236,7 +251,7 @@ class RecommendService:
                  profiler: Optional[StageProfiler] = None):
         self.config = config or ServiceConfig()
         if isinstance(graph, DeltaGraphView):
-            self.view = graph
+            self.view = graph  # repro-lint: guarded-by=_exec_lock
             self.view.compaction_threshold = self.config.compaction_threshold
         else:
             self.view = DeltaGraphView(
@@ -251,17 +266,25 @@ class RecommendService:
         self.engine = BatchServingEngine(
             self.embedder, self.view, profiler=self.profiler, **options
         )
-        self.endpoint_stats: Dict[str, EndpointStats] = {
+        self.endpoint_stats: Dict[str, EndpointStats] = {  # repro-lint: guarded-by=_cond
             name: EndpointStats(window=self.config.latency_window)
             for name in ENDPOINTS
         }
         self.view.add_compaction_listener(self._on_compaction)
-        self._cond = threading.Condition()
-        self._batches: Dict[tuple, _Batch] = {}
-        self._ripe: Dict[tuple, List[List[_Pending]]] = {}
-        self._pending_total = 0
-        self._queue_high_water = 0
-        self._exec_lock = threading.RLock()
+        self._cond = checked_condition("service._cond")
+        self._batches: Dict[tuple, _Batch] = {}  # repro-lint: guarded-by=_cond
+        self._ripe: Dict[tuple, List[List[_Pending]]] = {}  # repro-lint: guarded-by=_cond
+        self._pending_total = 0  # repro-lint: guarded-by=_cond
+        self._queue_high_water = 0  # repro-lint: guarded-by=_cond
+        self._exec_lock = checked_rlock("service._exec_lock")
+        # Write-tracker region for the counters above: writes are
+        # bracketed so the runtime sanitizer can flag any future path
+        # that mutates stats without holding _cond.
+        self._stats_region = register_shared_region(
+            "service.stats", guard="service._cond",
+            reason="admission counters + latency windows; single guard "
+                   "is _cond (DESIGN.md lock-discipline contract)",
+        )
 
     # ------------------------------------------------------------------
     # Public endpoints
@@ -329,28 +352,47 @@ class RecommendService:
     # ------------------------------------------------------------------
     def _check_read(self, relation: str, nodes: Sequence[int],
                     k: Optional[int]) -> int:
+        """Admission-time validation of a read request.
+
+        Epoch semantics: this runs *outside* any lock, so the bounds
+        check is against whatever graph epoch is current at admission.
+        That is fine — node ids are dense and ``num_nodes`` only grows,
+        so an id valid at admission stays valid forever.  The check is
+        still repeated under ``_exec_lock`` in :meth:`_execute` (see
+        :meth:`_check_node_ids`) so execution validates against the
+        epoch it actually reads, closing the admission-to-execution
+        TOCTOU window for any future view whose id space can shrink.
+        """
         self.view.schema.relationship_index(relation)
         k = self.config.default_k if k is None else int(k)
         if k <= 0:
             raise ServiceError(f"k must be positive, got {k}")
-        num_nodes = self.view.num_nodes
-        for node in nodes:
-            if not 0 <= int(node) < num_nodes:
-                raise ServiceError(
-                    f"unknown node id {int(node)} (graph has {num_nodes} "
-                    "nodes; stream new nodes in through feedback first)"
-                )
+        self._check_node_ids(nodes)
         return k
+
+    def _check_node_ids(self, nodes: Sequence[int]) -> None:
+        """Vectorised dense-id bounds check against the current epoch."""
+        ids = np.asarray(nodes, dtype=np.int64)
+        num_nodes = self.view.num_nodes
+        if ids.size:
+            bad = (ids < 0) | (ids >= num_nodes)
+            if bad.any():
+                raise ServiceError(
+                    f"unknown node id {int(ids[bad][0])} (graph has "
+                    f"{num_nodes} nodes; stream new nodes in through "
+                    "feedback first)"
+                )
 
     # ------------------------------------------------------------------
     # Admission queue + micro-batching
     # ------------------------------------------------------------------
-    def _admit(self, key: tuple, payloads: list) -> List[_Pending]:
+    def _admit(self, key: tuple, payloads: list) -> List[_Pending]:  # repro-lint: holds=_cond
         """Enqueue payloads under the admission bound (caller holds _cond)."""
         endpoint = key[0]
         stats = self.endpoint_stats[endpoint]
         if self._pending_total + len(payloads) > self.config.max_queue:
-            stats.rejected += len(payloads)
+            with self._stats_region:
+                stats.rejected += len(payloads)
             raise QueueFullError(
                 f"admission queue full ({self._pending_total} pending, "
                 f"bound {self.config.max_queue}); rejected {len(payloads)} "
@@ -372,12 +414,15 @@ class RecommendService:
                 self._ripe.setdefault(key, []).append(batch.items)
                 del self._batches[key]
                 batch = None
-        self._pending_total += len(requests)
-        self._queue_high_water = max(self._queue_high_water, self._pending_total)
-        stats.requests += len(requests)
+        with self._stats_region:
+            self._pending_total += len(requests)
+            self._queue_high_water = max(
+                self._queue_high_water, self._pending_total
+            )
+            stats.requests += len(requests)
         return requests
 
-    def _take_due_batches(self, key: tuple, now: float) -> List[tuple]:
+    def _take_due_batches(self, key: tuple, now: float) -> List[tuple]:  # repro-lint: holds=_cond
         """Pop every batch of ``key`` that is full or past deadline."""
         due = [(key, items) for items in self._ripe.pop(key, [])]
         batch = self._batches.get(key)
@@ -397,8 +442,9 @@ class RecommendService:
         stats = self.endpoint_stats[key[0]]
         elapsed = time.perf_counter() - start
         with self._cond:
-            for _ in requests:
-                stats.record_latency(elapsed)
+            with self._stats_region:
+                for _ in requests:
+                    stats.record_latency(elapsed)
         first_error = next((r.error for r in requests if r.error), None)
         if first_error is not None:
             raise first_error
@@ -446,13 +492,21 @@ class RecommendService:
     # ------------------------------------------------------------------
     def _execute(self, key: tuple, items: List[_Pending]) -> None:
         endpoint = key[0]
-        self.endpoint_stats[endpoint].batches += 1
+        # Counter write under _cond (and before _exec_lock is taken, so
+        # the two locks are never nested).  This increment used to run
+        # with no lock at all and could be lost under concurrent
+        # flushes — the exact bug class R009 exists to catch.
+        with self._cond:
+            with self._stats_region:
+                self.endpoint_stats[endpoint].batches += 1
         try:
             with self._exec_lock:
                 with self.profiler.stage(f"service.{endpoint}"):
                     if endpoint == "recommend":
                         _, relation, k, target_type, exclude_known = key
                         sources = [item.payload for item in items]
+                        # Execution-epoch revalidation (see _check_read).
+                        self._check_node_ids(sources)
                         results = self.engine.topk_batch(
                             sources, relation, k, target_type, exclude_known
                         )
@@ -461,6 +515,7 @@ class RecommendService:
                     elif endpoint == "similar":
                         _, relation, k = key
                         nodes = [item.payload for item in items]
+                        self._check_node_ids(nodes)
                         results = self.engine.similar_topk(nodes, relation, k)
                         for item, result in zip(items, results):
                             item.result = result
@@ -507,7 +562,7 @@ class RecommendService:
             )
         return inferred
 
-    def _apply_feedback(self, relation: str, source: int, target: int,
+    def _apply_feedback(self, relation: str, source: int, target: int,  # repro-lint: holds=_exec_lock
                         source_type: Optional[str],
                         target_type: Optional[str]) -> Dict[str, object]:
         if source == target:
@@ -557,17 +612,26 @@ class RecommendService:
             return self._pending_total
 
     def stats_report(self) -> Dict[str, object]:
-        """Endpoints, queue, ingestion, engine and stage timings in one dict."""
-        return {
-            "endpoints": {
+        """Endpoints, queue, ingestion, engine and stage timings in one dict.
+
+        Counter reads take ``_cond`` — the counters' declared guard — so
+        a report snapshot can never observe a torn multi-field update
+        (e.g. ``requests`` bumped but ``batches`` not yet) from a
+        concurrent admission or flush.
+        """
+        with self._cond:
+            endpoints = {
                 name: stats.to_dict()
                 for name, stats in self.endpoint_stats.items()
-            },
-            "queue": {
+            }
+            queue = {
                 "max_queue": self.config.max_queue,
                 "high_water": self._queue_high_water,
-                "depth": self.queue_depth,
-            },
+                "depth": self._pending_total,
+            }
+        return {
+            "endpoints": endpoints,
+            "queue": queue,
             "ingestion": self.view.stats(),
             "engine": self.engine.latency_report(),
         }

@@ -66,6 +66,7 @@ from repro.sampling.frontier import concat_matrices
 from repro.sampling.metapath_walk import MetapathWalker
 from repro.sampling.negative import UnigramNegativeSampler
 from repro.sampling.random_walk import UniformRandomWalker
+from repro.utils.concurrency import register_shared_region
 from repro.utils.rng import SeedLike, as_rng, spawn_rng, spawn_rngs
 
 #: Key of the shared skip-gram context (output) table in table dicts.
@@ -217,6 +218,26 @@ class ParallelSkipGramTrainer:
         # can report without a pipe round-trip.
         self._stats = _shared_zeros((2, self.config.workers))
         self._slabs: Optional[List[Dict[str, np.ndarray]]] = None
+        # Declared write regions for the runtime sanitizer.  All three
+        # are exempt with a stated reason rather than guarded: hogwild
+        # races on the master tables by design (Niu et al., 2011), and
+        # the stats/slab buffers partition writes per worker.
+        self._tables_region = register_shared_region(
+            "train.tables", exempt=True,
+            reason="hogwild scatters race on the shared master tables by "
+                   "design (Niu et al., 2011); averaging mode trains "
+                   "private copies instead",
+        )
+        self._stats_region = register_shared_region(
+            "train.stats", exempt=True,
+            reason="each worker writes only its own column of the shared "
+                   "(2, workers) loss/batch buffer",
+        )
+        self._slabs_region = register_shared_region(
+            "train.slabs", exempt=True,
+            reason="one publish slab per worker; no two workers ever "
+                   "write the same slab",
+        )
         self._prewarm_adjacency()
 
     # -- shared state --------------------------------------------------
@@ -366,24 +387,26 @@ class ParallelSkipGramTrainer:
         loss_sum = 0.0
         batch_count = 0
         w_out = tables[CONTEXT_KEY]
-        for relation in self.graph.schema.relationships:
-            pairs = self._shard_pairs(worker, relation, rng)
-            if pairs is None:
-                continue
-            w_in = tables[relation]
-            order = rng.permutation(len(pairs))
-            for start in range(0, len(pairs), config.batch_size):
-                batch = pairs[order[start: start + config.batch_size]]
-                centers, contexts = batch[:, 0], batch[:, 1]
-                negatives = self._negative_sampler.sample_like(
-                    contexts, config.num_negatives, rng=rng
-                )
-                loss_sum += self._sgd_batch(
-                    w_in, w_out, centers, contexts, negatives
-                )
-                batch_count += 1
-        self._stats[0, worker] = loss_sum
-        self._stats[1, worker] = batch_count
+        with self._tables_region:
+            for relation in self.graph.schema.relationships:
+                pairs = self._shard_pairs(worker, relation, rng)
+                if pairs is None:
+                    continue
+                w_in = tables[relation]
+                order = rng.permutation(len(pairs))
+                for start in range(0, len(pairs), config.batch_size):
+                    batch = pairs[order[start: start + config.batch_size]]
+                    centers, contexts = batch[:, 0], batch[:, 1]
+                    negatives = self._negative_sampler.sample_like(
+                        contexts, config.num_negatives, rng=rng
+                    )
+                    loss_sum += self._sgd_batch(
+                        w_in, w_out, centers, contexts, negatives
+                    )
+                    batch_count += 1
+        with self._stats_region:
+            self._stats[0, worker] = loss_sum
+            self._stats[1, worker] = batch_count
 
     def _worker_epoch_average(
         self,
@@ -395,8 +418,9 @@ class ParallelSkipGramTrainer:
         local = {name: table.copy() for name, table in snapshot.items()}
         self._worker_epoch(worker, rng, local)
         slab = self._slabs[worker]
-        for name, table in local.items():
-            slab[name][:] = table
+        with self._slabs_region:
+            for name, table in local.items():
+                slab[name][:] = table
 
     # -- epoch orchestration (parent) ----------------------------------
     def _ensure_slabs(self) -> None:
@@ -463,10 +487,11 @@ class ParallelSkipGramTrainer:
                         w, rngs[w], snapshot))
                     for w in range(config.workers)
                 ])
-                for name, table in self._tables.items():
-                    table[:] = np.mean(
-                        [slab[name] for slab in self._slabs], axis=0
-                    )
+                with self._tables_region:
+                    for name, table in self._tables.items():
+                        table[:] = np.mean(
+                            [slab[name] for slab in self._slabs], axis=0
+                        )
         total_loss = float(self._stats[0].sum())
         total_batches = float(self._stats[1].sum())
         return total_loss / max(1.0, total_batches)

@@ -1,5 +1,25 @@
-"""Small shared utilities: RNG handling, validation and text formatting."""
+"""Small shared utilities: RNG handling, validation, text formatting and
+the runtime lock-discipline sanitizer (:mod:`repro.utils.concurrency`)."""
 
+from repro.utils.concurrency import (
+    CheckedCondition,
+    CheckedLock,
+    CheckedRLock,
+    ConcurrencyFinding,
+    SharedRegion,
+    checked_condition,
+    checked_lock,
+    checked_rlock,
+    concurrency_findings,
+    held_locks,
+    lock_order_edges,
+    lock_sanitizer,
+    lock_sanitizer_enabled,
+    register_shared_region,
+    reset_concurrency_state,
+    set_lock_sanitizer,
+    shared_write,
+)
 from repro.utils.rng import as_rng, spawn_rng, spawn_rngs
 from repro.utils.validation import (
     check_fraction,
@@ -16,4 +36,21 @@ __all__ = [
     "check_positive",
     "check_probability_vector",
     "format_table",
+    "CheckedCondition",
+    "CheckedLock",
+    "CheckedRLock",
+    "ConcurrencyFinding",
+    "SharedRegion",
+    "checked_condition",
+    "checked_lock",
+    "checked_rlock",
+    "concurrency_findings",
+    "held_locks",
+    "lock_order_edges",
+    "lock_sanitizer",
+    "lock_sanitizer_enabled",
+    "register_shared_region",
+    "reset_concurrency_state",
+    "set_lock_sanitizer",
+    "shared_write",
 ]

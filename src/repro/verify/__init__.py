@@ -50,6 +50,7 @@ from repro.verify.oracles import (
     service_oracles,
     serving_oracles,
 )
+from repro.verify.concurrency_oracles import concurrency_oracles
 from repro.verify.parallel_oracles import AUC_TOLERANCE, parallel_oracles
 
 __all__ = [
@@ -69,6 +70,7 @@ __all__ = [
     "OracleResult",
     "RECALL_TOLERANCE",
     "AUC_TOLERANCE",
+    "concurrency_oracles",
     "parallel_oracles",
     "format_oracle_table",
     "index_oracles",

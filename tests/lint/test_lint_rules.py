@@ -4,6 +4,10 @@ Every rule is exercised three ways: a positive snippet that must be
 flagged, the same snippet silenced with ``# repro-lint: disable=RXXX``,
 and the same finding excluded through a baseline entry.  Negative
 snippets pin down the false-positive boundaries.
+
+The concurrency rules R009-R012 follow the same three-way pattern in
+``test_concurrency_rules.py``; the metadata test at the bottom of this
+file covers the full 12-rule registry.
 """
 
 from __future__ import annotations
@@ -442,10 +446,10 @@ def test_r008_flags_string_dtype_constants():
 
 def test_all_rules_have_stable_metadata():
     rules = all_rules()
-    assert len(rules) == len(RULES) == 8
+    assert len(rules) == len(RULES) == 12
     seen = set()
     for rule in rules:
         assert rule.code.startswith("R") and len(rule.code) == 4
         assert rule.name and rule.hint
         seen.add(rule.code)
-    assert seen == {f"R00{i}" for i in range(1, 9)}
+    assert seen == {f"R{i:03d}" for i in range(1, 13)}

@@ -338,6 +338,28 @@ class TestValidation:
         with pytest.raises(ServiceError, match="k must be positive"):
             service.recommend(0, "view", k=0)
 
+    def test_vectorised_bounds_check_names_first_bad_id(self):
+        service = make_service()
+        with pytest.raises(ServiceError, match="unknown node id -1"):
+            service.recommend(-1, "view", k=3)
+        with pytest.raises(ServiceError, match="unknown node id 9"):
+            service.recommend_many([0, 1, 9, 42], "view", k=3)
+        # An empty batch passes the bounds check and returns no results.
+        assert service.recommend_many([], "view", k=3) == []
+
+    def test_execution_epoch_revalidation_closes_toctou(self):
+        # _submit bypasses the admission-time _check_read, so this read
+        # only survives if _execute revalidates ids under _exec_lock.
+        service = make_service()
+        with pytest.raises(ServiceError, match="unknown node id 42"):
+            service._submit(("recommend", "view", 3, None, True), 42)
+        with pytest.raises(ServiceError, match="unknown node id 42"):
+            service._submit(("similar", "view", 3), 42)
+        # The failed batch must not wedge the queue.
+        assert service.queue_depth == 0
+        ids, _ = service.recommend(0, "view", k=3)
+        assert len(ids) > 0
+
     def test_self_feedback_rejected(self):
         service = make_service()
         with pytest.raises(ServiceError, match="itself"):
@@ -373,6 +395,20 @@ class TestReports:
         results = service.feedback_many([(0, 5), (0, 6), (1, 6)], "view")
         assert [r["accepted"] for r in results] == [True, True, True]
         assert service.endpoint_stats["feedback"].batches == 1
+
+    def test_stats_report_counts_executed_batches(self):
+        # The batches counter is bumped in _execute under _cond (it used
+        # to be updated with no lock); stats_report reads under the same
+        # lock, so the numbers it returns are a coherent snapshot.
+        service = make_service()
+        service.recommend_many([0, 1, 2], "view", k=3)
+        report = service.stats_report()
+        recommend = report["endpoints"]["recommend"]
+        assert recommend["requests"] == 3
+        assert recommend["batches"] == 1
+        assert recommend["mean_batch_size"] == 3.0
+        assert report["queue"]["depth"] == 0
+        assert report["queue"]["high_water"] >= 3
 
     def test_profiler_records_service_stages(self):
         service = make_service(compaction_threshold=2)

@@ -21,6 +21,11 @@ from repro.errors import QueueFullError
 from repro.graph import GraphBuilder, GraphSchema
 from repro.serving import BatchServingEngine, RecommendService, ServiceConfig
 from repro.serving.service import ColdStartEmbedder
+from repro.utils.concurrency import (
+    concurrency_findings,
+    lock_sanitizer,
+    reset_concurrency_state,
+)
 
 
 def build_base():
@@ -175,3 +180,66 @@ def test_mixed_storm_leaves_consistent_state():
         stats["requests"] for stats in report["endpoints"].values()
     )
     assert admitted > 0
+
+
+def test_sanitized_storm_compaction_vs_batch_reads():
+    """Compacting writes against batch reads under the runtime sanitizer.
+
+    Writers stream "buy" feedback (threshold 3 → repeated compactions)
+    while readers issue ``recommend_many`` batches on the untouched
+    "view" relation.  With the lock-discipline sanitizer on, the run must
+    produce zero lock-order errors and zero write-tracker findings, and
+    the "view" top-K must stay bit-identical throughout (the write
+    stream never touches it).
+    """
+    service = make_service(flush_interval=0.001, max_batch=8,
+                           max_queue=10_000, compaction_threshold=3)
+    expected = [
+        (ids.tolist(), scores.tolist())
+        for ids, scores in service.recommend_many([0, 1, 2], "view", k=3)
+    ]
+    writes = [
+        (0, 4, "buy"), (0, 5, "buy"), (0, 6, "buy"), (1, 3, "buy"),
+        (1, 5, "buy"), (1, 6, "buy"), (2, 3, "buy"), (2, 4, "buy"),
+        (2, 6, "buy"),
+    ]
+    errors = []
+
+    def writer():
+        for u, v, rel in writes:
+            service.feedback(u, v, rel)
+        return "done"
+
+    def reader(_):
+        try:
+            batch = service.recommend_many([0, 1, 2], "view", k=3)
+            return [(ids.tolist(), scores.tolist()) for ids, scores in batch]
+        except QueueFullError:  # pragma: no cover - queue is oversized
+            return None
+        except Exception as error:  # pragma: no cover - failure reporting
+            errors.append(error)
+            return None
+
+    reset_concurrency_state()
+    try:
+        with lock_sanitizer():
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                write_future = pool.submit(writer)
+                results = list(pool.map(reader, range(50)))
+                assert write_future.result() == "done"
+            findings = concurrency_findings()
+    finally:
+        reset_concurrency_state()
+
+    assert errors == []
+    assert findings == [], [f.to_dict() for f in findings]
+    assert service.view.compactions == 3
+    assert service.queue_depth == 0
+    for observed in results:
+        assert observed == expected
+    # Rerunning the batch after the storm, sanitizer off, still matches.
+    after = [
+        (ids.tolist(), scores.tolist())
+        for ids, scores in service.recommend_many([0, 1, 2], "view", k=3)
+    ]
+    assert after == expected

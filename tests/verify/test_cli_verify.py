@@ -38,6 +38,26 @@ def test_golden_subset_via_cli(capsys):
     assert "1/1 golden entries ok" in capsys.readouterr().out
 
 
+def test_concurrency_suite_via_cli(tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    exit_code = main(
+        ["verify", "--suite", "concurrency", "--report", str(report_path)]
+    )
+    assert exit_code == 0
+    assert "5/5 oracles passed" in capsys.readouterr().out
+    payload = json.loads(report_path.read_text())
+    assert payload["passed"] is True
+    names = {c["name"] for c in payload["suites"]["concurrency"]}
+    assert names == {
+        "lock_order_selftest",
+        "write_tracker_selftest",
+        "service_storm_zero_findings",
+        "sanitizer_bitidentity_service",
+        "sanitizer_bitidentity_training",
+    }
+    assert all(c["passed"] for c in payload["suites"]["concurrency"])
+
+
 def test_failure_exits_nonzero(tmp_path, monkeypatch):
     # Point the corpus at an empty directory: every entry is missing.
     monkeypatch.setenv("REPRO_GOLDEN_DIR", str(tmp_path))
