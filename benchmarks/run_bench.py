@@ -4,12 +4,22 @@ Writes ``BENCH_sampling.json`` at the repository root — a machine-readable
 perf trajectory so future PRs can compare against today's numbers:
 
     PYTHONPATH=src python benchmarks/run_bench.py [--profile smoke] [--out PATH]
+
+``--compare`` flips the tool from recorder to regression gate: instead of
+overwriting the committed baseline it re-measures each case and fails when
+a batched stage time regressed more than ``--threshold`` (default 15%)
+versus the committed numbers.  Wall-clock gating is only honest on quiet,
+adequately-sized machines, so on hosts with fewer than 4 CPUs the compare
+run reports the deltas but never fails — CI smoke runners land in this
+report-only mode by design (the allocation budgets in
+``benchmarks/alloc_budgets.json`` are the machine-independent gate there).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -18,6 +28,27 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from bench_sampling import run_all  # noqa: E402
 
 from repro.experiments.profiles import get_profile  # noqa: E402
+
+#: Below this many CPUs, --compare never fails (timings are too noisy to
+#: gate on; shared smoke runners routinely run 1-2 cores).
+MIN_GATING_CPUS = 4
+
+
+def compare_results(fresh: dict, committed: dict, threshold: float) -> list:
+    """Per-case deltas of ``batched_s`` vs the committed baseline.
+
+    Returns ``[(name, committed_s, fresh_s, delta_fraction), ...]`` for
+    every case present in both runs; cases only on one side are skipped
+    (a renamed benchmark should re-record, not fail the gate).
+    """
+    rows = []
+    for name, case in fresh["cases"].items():
+        base = committed["cases"].get(name)
+        if base is None or not base.get("batched_s"):
+            continue
+        delta = case["batched_s"] / base["batched_s"] - 1.0
+        rows.append((name, base["batched_s"], case["batched_s"], delta))
+    return rows
 
 
 def main(argv=None) -> int:
@@ -29,9 +60,56 @@ def main(argv=None) -> int:
         default=str(Path(__file__).resolve().parent.parent / "BENCH_sampling.json"),
         help="output JSON path (default: <repo>/BENCH_sampling.json)",
     )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="re-measure and gate against the committed --out file "
+             "instead of overwriting it",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="max tolerated batched-time regression in --compare mode "
+             "(fraction, default 0.15)",
+    )
     args = parser.parse_args(argv)
 
     results = run_all(get_profile(args.profile))
+
+    if args.compare:
+        baseline_path = Path(args.out)
+        if not baseline_path.exists():
+            print(f"no committed baseline at {baseline_path}; nothing to compare")
+            return 1
+        committed = json.loads(baseline_path.read_text())
+        rows = compare_results(results, committed, args.threshold)
+        cpus = os.cpu_count() or 1
+        gating = cpus >= MIN_GATING_CPUS
+        print(f"profile: {results['profile']}  ({results['graph']})")
+        print(f"baseline: {baseline_path} ({committed.get('timestamp', '?')})")
+        regressed = []
+        for name, base_s, fresh_s, delta in rows:
+            mark = ""
+            if delta > args.threshold:
+                regressed.append(name)
+                mark = "  REGRESSED" if gating else "  regressed (report-only)"
+            print(
+                f"  {name:<18} {base_s * 1e3:8.2f}ms -> {fresh_s * 1e3:8.2f}ms"
+                f"   {delta:+7.1%}{mark}"
+            )
+        if not gating:
+            print(
+                f"note: {cpus} CPU(s) < {MIN_GATING_CPUS}; timings too noisy "
+                "to gate on — reporting only, exit 0 regardless of deltas"
+            )
+            return 0
+        if regressed:
+            print(
+                f"FAIL: {len(regressed)} case(s) regressed more than "
+                f"{args.threshold:.0%}: {', '.join(regressed)}"
+            )
+            return 1
+        print(f"all {len(rows)} cases within {args.threshold:.0%} of baseline")
+        return 0
+
     Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
 
     print(f"profile: {results['profile']}  ({results['graph']})")

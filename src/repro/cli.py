@@ -30,7 +30,7 @@ Commands
     oracles, lock-discipline concurrency oracles, transfer-rule
     crosscheck, golden regression corpus); see TESTING.md.
 ``lint``
-    Run the project's AST lint rules (R001-R012) over the source tree
+    Run the project's AST lint rules (R001-R017) over the source tree
     against the committed baseline; see TESTING.md.
 ``check-model``
     Statically check a model/dataset pair: trace one training step,
@@ -323,7 +323,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
     suites = (
         ["gradcheck", "oracles", "index", "service", "parallel",
-         "concurrency", "transfer", "golden"]
+         "concurrency", "alloc", "transfer", "golden"]
         if args.suite == "all"
         else [args.suite]
     )
@@ -338,6 +338,16 @@ def cmd_verify(args: argparse.Namespace) -> int:
         )
         print(f"refreshed {len(entries)} golden entries in {verify_mod.golden_dir()}")
         suites = [s for s in suites if s != "golden"] if args.suite == "all" else []
+
+    if args.refresh_alloc_budgets:
+        from repro.perf import default_budget_path
+
+        budgets = verify_mod.refresh_alloc_budgets()
+        print(
+            f"refreshed {len(budgets)} allocation budgets in "
+            f"{default_budget_path()}"
+        )
+        suites = [s for s in suites if s != "alloc"] if args.suite == "all" else []
 
     if "gradcheck" in suites:
         missing = verify_mod.uncovered_targets()
@@ -385,6 +395,12 @@ def cmd_verify(args: argparse.Namespace) -> int:
         print(verify_mod.format_oracle_table(results))
         ok &= all(r.passed for r in results)
         report["suites"]["concurrency"] = [r.to_dict() for r in results]
+
+    if "alloc" in suites:
+        results = verify_mod.alloc_oracles(seed=args.seed)
+        print(verify_mod.format_oracle_table(results))
+        ok &= all(r.passed for r in results)
+        report["suites"]["alloc"] = [r.to_dict() for r in results]
 
     if "transfer" in suites:
         # Lazy import: the static checker is not needed by the other suites.
@@ -584,9 +600,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--suite", default="all",
                    choices=["all", "gradcheck", "oracles", "index",
                             "service", "parallel", "concurrency",
-                            "transfer", "golden"])
+                            "alloc", "transfer", "golden"])
     p.add_argument("--refresh-golden", action="store_true",
                    help="re-snapshot the golden corpus instead of checking it")
+    p.add_argument("--refresh-alloc-budgets", action="store_true",
+                   help="re-measure the canonical workloads and rewrite "
+                        "benchmarks/alloc_budgets.json instead of checking it")
     p.add_argument("--datasets", default="",
                    help="comma-separated dataset subset for the golden suite")
     p.add_argument("--models", default="",
@@ -610,7 +629,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "the stock model must pass, the variant must be flagged")
     p.set_defaults(func=cmd_check_model)
 
-    p = sub.add_parser("lint", help="run the project linter (AST rules R001-R012)")
+    p = sub.add_parser("lint", help="run the project linter (AST rules R001-R017)")
     from repro.lint.cli import add_lint_arguments
 
     add_lint_arguments(p)

@@ -36,11 +36,21 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--strict", action="store_true",
         help="also fail on stale baseline entries (CI mode)",
     )
+    parser.add_argument(
+        "--perf", action="store_true",
+        help="run only the performance rule pack (R013-R017)",
+    )
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
     baseline: Optional[Path] = Path(args.baseline) if args.baseline else None
-    report = run_lint(paths=args.paths or None, baseline_path=baseline)
+    rules = None
+    if getattr(args, "perf", False):
+        from repro.lint.perf import perf_rules
+
+        rules = perf_rules()
+    report = run_lint(paths=args.paths or None, baseline_path=baseline,
+                      rules=rules)
     if args.format == "json":
         print(format_json(report))
     else:

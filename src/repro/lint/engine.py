@@ -241,7 +241,14 @@ def run_lint(
         report.suppressed += suppressed
         report.files_checked += 1
 
-    entries = load_baseline(baseline_path)
+    # Only entries for codes the active rules can emit participate: a
+    # pack-restricted run (e.g. ``--perf``) must neither consume nor
+    # stale-flag the other packs' baseline debt.
+    active_codes = {rule.code for rule in rules} | {PARSE_ERROR_CODE}
+    entries = [
+        entry for entry in load_baseline(baseline_path)
+        if entry.code in active_codes
+    ]
     kept, baselined, stale = apply_baseline(all_findings, entries)
     report.findings = kept
     report.baselined = baselined

@@ -28,6 +28,16 @@ R011    a numpy ``Generator`` shared across thread/worker boundaries
         instead of per-worker ``spawn_rngs`` streams
 R012    blocking calls (``time.sleep``, I/O, ``.join()``) while holding
         a lock/condition
+R013    array growth (``np.append``/``np.concatenate``/``np.vstack`` or
+        list-grow-then-``asarray``) inside a loop body (see
+        :mod:`repro.lint.perf`)
+R014    silent dtype-promotion copies (casts of fresh temporaries,
+        chained ``astype``, unmarked float64 promotion) in hot modules
+R015    Python-level iteration over ndarrays in hot modules
+R016    loop-invariant calls to known-expensive helpers (``csr()``,
+        ``node_embeddings()``, ``type_pool()``) inside loop bodies
+R017    fresh ``np.zeros``/``np.empty`` of a loop-invariant shape
+        allocated inside the loop instead of hoisted and reused
 ======  ==============================================================
 
 Every finding carries a fix hint and can be silenced on its line with
@@ -493,9 +503,10 @@ class HardcodedDtypeRule(Rule):
         return findings
 
 
-# Imported here (not at the top) so the concurrency pack can reuse the
-# shared base without a circular import; see repro/lint/base.py.
+# Imported here (not at the top) so the concurrency/perf packs can reuse
+# the shared base without a circular import; see repro/lint/base.py.
 from repro.lint.concurrency import CONCURRENCY_RULES  # noqa: E402
+from repro.lint.perf import PERF_RULES  # noqa: E402
 
 RULES = (
     BareRandomRule,
@@ -506,7 +517,7 @@ RULES = (
     GradcheckCoverageRule,
     EnvironmentReadRule,
     HardcodedDtypeRule,
-) + CONCURRENCY_RULES
+) + CONCURRENCY_RULES + PERF_RULES
 
 
 def all_rules() -> List[Rule]:

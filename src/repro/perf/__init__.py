@@ -1,5 +1,34 @@
-"""Performance instrumentation: scoped timers and stage profiling."""
+"""Performance instrumentation: scoped timers, stage profiling, and the
+runtime allocation-budget sanitizer (:mod:`repro.perf.allocations`)."""
 
-from repro.perf.profiler import StageProfiler, Timer
+from repro.perf.allocations import (
+    AllocationTracker,
+    BudgetViolation,
+    StageAllocation,
+    allocation_tracker,
+    allocation_tracking_enabled,
+    check_budgets,
+    default_budget_path,
+    load_budgets,
+)
+from repro.perf.profiler import (
+    StageProfiler,
+    Timer,
+    set_stage_listener,
+    stage_listener,
+)
 
-__all__ = ["StageProfiler", "Timer"]
+__all__ = [
+    "StageProfiler",
+    "Timer",
+    "set_stage_listener",
+    "stage_listener",
+    "AllocationTracker",
+    "BudgetViolation",
+    "StageAllocation",
+    "allocation_tracker",
+    "allocation_tracking_enabled",
+    "check_budgets",
+    "default_budget_path",
+    "load_budgets",
+]

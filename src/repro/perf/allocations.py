@@ -1,0 +1,264 @@
+"""Runtime allocation-budget sanitizer for the profiled pipeline stages.
+
+Static rules (R013-R017, :mod:`repro.lint.perf`) catch the allocation
+anti-patterns visible in the AST; this module measures the ones that are
+not.  Under :func:`allocation_tracker` every ``StageProfiler`` stage
+activation in the process is bracketed with :mod:`tracemalloc` readings
+(numpy registers its buffers with tracemalloc), giving per-stage
+
+- ``calls``        — activations observed,
+- ``peak_bytes``   — the largest *temporary* footprint of one activation
+  (peak traced bytes during the stage minus traced bytes at entry),
+- ``total_net_bytes`` — bytes still allocated at exit minus entry,
+  summed over activations (retained output, e.g. returned arrays).
+
+The committed contract lives in ``benchmarks/alloc_budgets.json``: a
+per-stage ``peak_bytes`` ceiling for the canonical verify workloads.
+``repro verify --suite alloc`` replays those workloads under the tracker
+and fails when a stage's observed temporary peak exceeds its budget —
+the runtime counterpart of a lint baseline: regressions in hidden
+temporaries (dtype promotions, missed preallocation) trip it even when
+the numerics stay bit-identical.
+
+Sanitizer contract (the :func:`repro.nn.sanitize` mold):
+
+- **off by default** — no tracemalloc, and the only hot-path cost is the
+  profiler's module-global ``None`` test per stage activation;
+- **bit-identical numerics when on** — the tracker only reads
+  ``tracemalloc`` counters; it never touches arrays, the RNG stream, or
+  operation order (proven by the off-vs-on oracles in
+  :mod:`repro.verify.alloc_oracles`);
+- measurement is meant for single-threaded runs: tracemalloc counters
+  are process-global, so concurrent stages would attribute each other's
+  bytes (the frame stack is thread-local to stay *correct*, but cross-
+  thread attribution is approximate by nature).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "AllocationTracker",
+    "BudgetViolation",
+    "StageAllocation",
+    "allocation_tracker",
+    "allocation_tracking_enabled",
+    "check_budgets",
+    "default_budget_path",
+    "load_budgets",
+]
+
+
+class _State:
+    """Module-level switch; int so the hot-path test is one C-level check."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = 0
+
+
+STATE = _State()
+
+
+def allocation_tracking_enabled() -> bool:
+    """True while an :func:`allocation_tracker` context is active."""
+    return bool(STATE.enabled)
+
+
+@dataclass
+class StageAllocation:
+    """Accumulated allocation facts for one profiler stage."""
+
+    stage: str
+    calls: int = 0
+    peak_bytes: int = 0
+    total_net_bytes: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "calls": self.calls,
+            "peak_bytes": self.peak_bytes,
+            "total_net_bytes": self.total_net_bytes,
+        }
+
+
+class AllocationTracker:
+    """Stage listener recording per-stage temporary bytes via tracemalloc.
+
+    Stages nest (``serving.pool`` inside a service endpoint stage, …); a
+    per-thread frame stack keeps attribution correct: entering a stage
+    folds the peak observed so far into every open frame and resets the
+    tracemalloc peak, so each frame's peak covers exactly its own
+    activation, and a child's peak propagates back into its parent.
+    """
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, StageAllocation] = {}
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    # -- stage-listener protocol (called by _StageScope) ----------------
+    def _frames(self) -> List[List]:
+        frames = getattr(self._local, "frames", None)
+        if frames is None:
+            frames = self._local.frames = []
+        return frames
+
+    def stage_enter(self, name: str) -> None:
+        if not tracemalloc.is_tracing():  # pragma: no cover - defensive
+            return
+        current, peak = tracemalloc.get_traced_memory()
+        frames = self._frames()
+        for frame in frames:
+            frame[2] = max(frame[2], peak)
+        # [name, traced bytes at entry, peak seen while this frame is open]
+        frames.append([name, current, current])
+        tracemalloc.reset_peak()
+
+    def stage_exit(self, name: str) -> None:
+        if not tracemalloc.is_tracing():  # pragma: no cover - defensive
+            return
+        frames = self._frames()
+        if not frames or frames[-1][0] != name:
+            # Mismatched exit (listener installed mid-stage): drop.
+            return
+        current, peak = tracemalloc.get_traced_memory()
+        _, entry_bytes, folded_peak = frames.pop()
+        frame_peak = max(folded_peak, peak)
+        temp = max(0, frame_peak - entry_bytes)
+        net = current - entry_bytes
+        with self._lock:
+            entry = self._stats.get(name)
+            if entry is None:
+                entry = self._stats[name] = StageAllocation(name)
+            entry.calls += 1
+            entry.peak_bytes = max(entry.peak_bytes, temp)
+            entry.total_net_bytes += net
+        if frames:
+            frames[-1][2] = max(frames[-1][2], frame_peak)
+        tracemalloc.reset_peak()
+
+    # -- reporting ------------------------------------------------------
+    def stats(self) -> Dict[str, StageAllocation]:
+        with self._lock:
+            return dict(self._stats)
+
+    def report(self) -> Dict[str, Dict[str, int]]:
+        """``{stage: {"calls", "peak_bytes", "total_net_bytes"}}``."""
+        with self._lock:
+            return {
+                name: entry.to_dict() for name, entry in self._stats.items()
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stats.clear()
+
+
+@contextmanager
+def allocation_tracker(
+    tracker: Optional[AllocationTracker] = None,
+) -> Iterator[AllocationTracker]:
+    """Enable per-stage allocation tracking for the duration of the block.
+
+    Starts tracemalloc if it is not already running (and stops it again
+    on exit in that case), installs the tracker as the process stage
+    listener, and restores the previous listener afterwards.
+    """
+    from repro.perf import profiler
+
+    tracker = tracker or AllocationTracker()
+    started_tracing = not tracemalloc.is_tracing()
+    if started_tracing:
+        tracemalloc.start()
+    previous = profiler.set_stage_listener(tracker)
+    previous_enabled = STATE.enabled
+    STATE.enabled = 1
+    try:
+        yield tracker
+    finally:
+        STATE.enabled = previous_enabled
+        profiler.set_stage_listener(previous)
+        if started_tracing:
+            tracemalloc.stop()
+
+
+# ----------------------------------------------------------------------
+# Budgets
+# ----------------------------------------------------------------------
+
+@dataclass
+class BudgetViolation:
+    """One stage whose observed temporary peak exceeded its budget."""
+
+    stage: str
+    peak_bytes: int
+    budget_bytes: int
+    calls: int = 0
+
+    @property
+    def ratio(self) -> float:
+        return self.peak_bytes / self.budget_bytes if self.budget_bytes else float("inf")
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "stage": self.stage,
+            "peak_bytes": self.peak_bytes,
+            "budget_bytes": self.budget_bytes,
+            "calls": self.calls,
+            "ratio": self.ratio,
+        }
+
+
+def default_budget_path() -> Path:
+    """``benchmarks/alloc_budgets.json`` at the repository root.
+
+    Resolved relative to the installed package (src/repro/perf/ ->
+    repo root), matching how the golden records and BENCH baselines are
+    located.
+    """
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "alloc_budgets.json"
+
+
+def load_budgets(path: Optional[Path] = None) -> Dict[str, int]:
+    """``{stage: peak_bytes budget}`` from the committed budget file."""
+    path = Path(path) if path is not None else default_budget_path()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return {
+        stage: int(spec["peak_bytes"])
+        for stage, spec in payload.get("budgets", {}).items()
+    }
+
+
+def check_budgets(
+    stats: Dict[str, StageAllocation],
+    budgets: Optional[Dict[str, int]] = None,
+) -> List[BudgetViolation]:
+    """Violations among measured stages that carry a budget.
+
+    Stages without a budget are ignored (new stages opt in by being
+    added to the committed file); budgeted stages that were not measured
+    are the *caller's* coverage concern — the alloc oracle suite checks
+    them explicitly so a silently-skipped workload cannot pass.
+    """
+    if budgets is None:
+        budgets = load_budgets()
+    violations = [
+        BudgetViolation(
+            stage=name,
+            peak_bytes=entry.peak_bytes,
+            budget_bytes=budgets[name],
+            calls=entry.calls,
+        )
+        for name, entry in sorted(stats.items())
+        if name in budgets and entry.peak_bytes > budgets[name]
+    ]
+    return violations

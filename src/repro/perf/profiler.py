@@ -15,6 +15,11 @@ Besides totals, each stage keeps a bounded window of recent per-activation
 durations so :meth:`StageProfiler.report` can surface tail latency
 (``p50_ms``/``p95_ms``/``p99_ms``) — totals alone hide the slow requests
 that dominate user-perceived serving latency.
+
+A process-wide *stage listener* (:func:`set_stage_listener`) can observe
+every stage activation of every profiler.  It exists for the allocation
+sanitizer (:mod:`repro.perf.allocations`): off by default, the hot path
+pays one module-global ``None`` test per stage enter/exit.
 """
 
 from __future__ import annotations
@@ -22,6 +27,24 @@ from __future__ import annotations
 import time
 from collections import deque
 from typing import Deque, Dict, Optional
+
+#: The installed stage listener, or None.  A listener is any object with
+#: ``stage_enter(name)`` / ``stage_exit(name)`` methods; it sees every
+#: activation of every StageProfiler in the process.
+_STAGE_LISTENER = None
+
+
+def set_stage_listener(listener) -> "Optional[object]":
+    """Install ``listener`` (or None to remove); returns the previous one."""
+    global _STAGE_LISTENER
+    previous = _STAGE_LISTENER
+    _STAGE_LISTENER = listener
+    return previous
+
+
+def stage_listener():
+    """The currently installed stage listener, or None."""
+    return _STAGE_LISTENER
 
 # Per-stage sample window for percentile estimation.  Bounded so a
 # long-lived profiler reports recent behavior at O(1) memory; 4096 samples
@@ -71,11 +94,17 @@ class _StageScope:
         self._start = 0.0
 
     def __enter__(self) -> "_StageScope":
+        listener = _STAGE_LISTENER
+        if listener is not None:
+            listener.stage_enter(self._name)
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self._profiler._record(self._name, time.perf_counter() - self._start)
+        listener = _STAGE_LISTENER
+        if listener is not None:
+            listener.stage_exit(self._name)
 
 
 class StageProfiler:

@@ -69,7 +69,11 @@ def sample_uniform_neighbors(
     nodes = np.asarray(nodes, dtype=np.int64)
     flat = nodes.reshape(-1)
     degrees = indptr[flat + 1] - indptr[flat]
-    offsets = (rng.random((flat.size, count)) * np.maximum(degrees, 1)[:, None]).astype(np.int64)
+    # Scale the uniform draws in place: same multiply, same truncation,
+    # one less (flat.size, count) float64 temporary.
+    draws = rng.random((flat.size, count))
+    np.multiply(draws, np.maximum(degrees, 1)[:, None], out=draws)
+    offsets = draws.astype(np.int64)
     positions = indptr[flat][:, None] + offsets
     # Clip positions for zero-degree rows (value is replaced below anyway).
     positions = np.minimum(positions, len(indices) - 1 if len(indices) else 0)
@@ -100,7 +104,11 @@ def step_uniform(
     nodes = np.asarray(nodes, dtype=np.int64)
     degrees = indptr[nodes + 1] - indptr[nodes]
     moved = degrees > 0
-    offsets = (rng.random(nodes.size) * np.maximum(degrees, 1)).astype(np.int64)
+    # In-place scale of the draws: bit-identical offsets, no extra
+    # full-frontier float64 temporary on the per-step hot path.
+    draws = rng.random(nodes.size)
+    np.multiply(draws, np.maximum(degrees, 1), out=draws)
+    offsets = draws.astype(np.int64)
     positions = indptr[nodes] + offsets
     positions = np.minimum(positions, len(indices) - 1 if len(indices) else 0)
     next_nodes = nodes.copy()

@@ -53,7 +53,11 @@ class RandomizedExploration:
         degrees = self._degree_matrix[nodes]  # (batch, R)
         active = degrees > 0
         counts = active.sum(axis=1)
-        draws = (self._rng.random(len(nodes)) * np.maximum(counts, 1)).astype(np.int64)
+        # In-place scale: bit-identical draws, one less batch-sized
+        # float64 temporary per step.
+        scaled = self._rng.random(len(nodes))
+        np.multiply(scaled, np.maximum(counts, 1), out=scaled)
+        draws = scaled.astype(np.int64)
         cumulative = np.cumsum(active, axis=1)
         # First column where cumulative == draws + 1 and the column is active.
         target = (draws + 1)[:, None]

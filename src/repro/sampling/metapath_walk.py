@@ -115,14 +115,19 @@ class MetapathWalker:
         """Like :meth:`walks` but returns one padded ``(W, L)`` matrix."""
         if starts is None:
             starts = self.graph.nodes_of_type(self.scheme.start_type)
-        parts = [
-            self.walk_matrix(self._rng.permutation(starts), length)
-            for _ in range(num_walks)
-        ]
-        return (
-            np.concatenate([matrix for matrix, _ in parts], axis=0),
-            np.concatenate([lengths for _, lengths in parts]),
-        )
+        starts = np.asarray(starts)
+        # Fixed-width blocks per round (run_frontier always pads to
+        # max(length, 1)): preallocate the pooled output and fill slices,
+        # keeping the RNG call order of the old concatenate-of-parts form.
+        per_round = starts.shape[0]
+        matrix = np.empty((num_walks * per_round, max(length, 1)), dtype=np.int64)
+        lengths = np.empty(num_walks * per_round, dtype=np.int64)
+        for walk_round in range(num_walks):
+            block = slice(walk_round * per_round, (walk_round + 1) * per_round)
+            matrix[block], lengths[block] = self.walk_matrix(
+                self._rng.permutation(starts), length
+            )
+        return matrix, lengths
 
     # ------------------------------------------------------------------
     # Scalar reference path (pre-frontier implementation) for equivalence

@@ -37,7 +37,7 @@ class UnigramNegativeSampler:
         self.graph = graph
         self.power = power
         self._rng = as_rng(rng)
-        degrees = graph.degrees().astype(np.float64)
+        degrees = graph.degrees().astype(np.float64)  # repro-lint: intended-dtype=float64 (one-time promotion to the unigram probability dtype)
         weights = np.power(np.maximum(degrees, 1e-12), power)
         # Alias tables give O(1) draws; choice(p=...) would rescan the
         # distribution on every batch.

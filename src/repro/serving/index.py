@@ -389,9 +389,10 @@ class IVFIndex(VectorIndex):
         else:
             sample = vectors
         centroids = sample[rng.choice(len(sample), size=nlist, replace=False)]
+        sums = np.zeros((nlist, dim))  # reused across k-means iterations
         for _ in range(self.iters):
             assignment = self._assign(sample, centroids)
-            sums = np.zeros((nlist, dim))
+            sums.fill(0.0)
             np.add.at(sums, assignment, sample)
             counts = np.bincount(assignment, minlength=nlist)
             occupied = counts > 0
@@ -411,9 +412,9 @@ class IVFIndex(VectorIndex):
         counts = np.bincount(assignment, minlength=nlist)
         self._centroids = centroids
         self._positions = order.astype(np.int64)
-        self._offsets = np.concatenate(
-            ([0], np.cumsum(counts))
-        ).astype(np.int64)
+        offsets = np.zeros(nlist + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        self._offsets = offsets
         self._vectors = np.ascontiguousarray(vectors[order])
         self.size, self.dim = size, dim
         return self
@@ -528,9 +529,14 @@ class HNSWIndex(VectorIndex):
         rng = as_rng(self.seed)
         level_mult = 1.0 / np.log(self.m)
         draws = rng.random(size) if size else np.empty(0)
-        self._levels = np.floor(
-            -np.log(np.maximum(draws, 1e-12)) * level_mult
-        ).astype(np.int64)
+        # Same -log(max(draws, eps)) * mult -> floor chain, computed in
+        # place: identical float sequence, no intermediate copies.
+        levels = np.maximum(draws, 1e-12)
+        np.log(levels, out=levels)
+        np.negative(levels, out=levels)
+        np.multiply(levels, level_mult, out=levels)
+        np.floor(levels, out=levels)
+        self._levels = levels.astype(np.int64)
         if size == 0:
             self._entry, self._max_level = -1, -1
             self._indptr, self._indices = [], []
@@ -550,15 +556,17 @@ class HNSWIndex(VectorIndex):
             self._insert(node)
         # Freeze to CSR per level for fast search and persistence.
         self._indptr, self._indices = [], []
+        degrees = np.zeros(size + 1, dtype=np.int64)  # reused per level
         for level in range(max_level + 1):
             members = sorted(graph[level])
-            indptr = np.zeros(size + 1, dtype=np.int64)
+            degrees.fill(0)
             chunks = []
             for member in members:
                 neighbors = graph[level][member]
-                indptr[member + 1] = len(neighbors)
+                degrees[member + 1] = len(neighbors)
                 chunks.append(np.asarray(neighbors, dtype=np.int64))
-            indptr = np.cumsum(indptr).astype(np.int64)
+            # cumsum of an int64 buffer is already int64: no astype copy.
+            indptr = np.cumsum(degrees)
             indices = (np.concatenate(chunks) if chunks else _EMPTY_IDS)
             self._indptr.append(indptr)
             self._indices.append(indices)

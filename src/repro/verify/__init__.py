@@ -50,6 +50,11 @@ from repro.verify.oracles import (
     service_oracles,
     serving_oracles,
 )
+from repro.verify.alloc_oracles import (
+    alloc_oracles,
+    measure_alloc_stats,
+    refresh_alloc_budgets,
+)
 from repro.verify.concurrency_oracles import concurrency_oracles
 from repro.verify.parallel_oracles import AUC_TOLERANCE, parallel_oracles
 
@@ -70,6 +75,9 @@ __all__ = [
     "OracleResult",
     "RECALL_TOLERANCE",
     "AUC_TOLERANCE",
+    "alloc_oracles",
+    "measure_alloc_stats",
+    "refresh_alloc_budgets",
     "concurrency_oracles",
     "parallel_oracles",
     "format_oracle_table",

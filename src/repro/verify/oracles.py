@@ -179,8 +179,9 @@ def sampling_oracles(dataset=None, seed: int = 0) -> List[OracleResult]:
     explorer = RandomizedExploration(graph, rng=seed)
     relations = graph.schema.relationships
     diff = 0.0
+    expected = np.zeros(len(relations))  # reused (re-zeroed) per node
     for node in starts:
-        expected = np.zeros(len(relations))
+        expected.fill(0.0)
         active = [
             i for i, rel in enumerate(relations)
             if graph.degrees(rel)[int(node)] > 0

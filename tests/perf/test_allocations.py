@@ -1,0 +1,176 @@
+"""Tests for the runtime allocation-budget sanitizer.
+
+Covers the contract in :mod:`repro.perf.allocations`: off by default
+(no listener installed, zero stats recorded), correct per-stage and
+nested attribution of temporary peaks, budget checking semantics
+(unbudgeted stages ignored, violations sorted and quantified), state
+restoration on context exit, and bit-identical numerics with the
+tracker off vs on.  The heavyweight canonical-workload gates live in
+``repro verify --suite alloc`` (:mod:`repro.verify.alloc_oracles`).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.perf import (
+    AllocationTracker,
+    StageProfiler,
+    allocation_tracker,
+    allocation_tracking_enabled,
+    check_budgets,
+    default_budget_path,
+    load_budgets,
+)
+from repro.perf import profiler as profiler_mod
+
+MB = 1_000_000
+
+
+@pytest.fixture
+def profiler():
+    return StageProfiler()
+
+
+class TestOffByDefault:
+    def test_no_listener_and_no_tracking_outside_context(self, profiler):
+        assert profiler_mod.stage_listener() is None
+        assert not allocation_tracking_enabled()
+        with profiler.stage("plain"):
+            np.zeros(MB // 8)
+        # Timing still recorded; nothing was tracked anywhere.
+        assert profiler.seconds("plain") >= 0.0
+
+    def test_stages_outside_context_record_nothing(self, profiler):
+        with allocation_tracker() as tracker:
+            pass
+        with profiler.stage("after"):
+            np.zeros(MB // 8)
+        assert "after" not in tracker.report()
+
+    def test_context_restores_listener_state_and_tracemalloc(self, profiler):
+        was_tracing = tracemalloc.is_tracing()
+        with allocation_tracker():
+            assert allocation_tracking_enabled()
+            assert tracemalloc.is_tracing()
+        assert not allocation_tracking_enabled()
+        assert profiler_mod.stage_listener() is None
+        assert tracemalloc.is_tracing() == was_tracing
+
+
+class TestAttribution:
+    def test_peak_and_calls_recorded(self, profiler):
+        with allocation_tracker() as tracker:
+            for _ in range(3):
+                with profiler.stage("hog"):
+                    scratch = np.zeros(MB)  # 8 MB temporary
+                    del scratch
+        entry = tracker.stats()["hog"]
+        assert entry.calls == 3
+        assert 8 * MB <= entry.peak_bytes < 9 * MB
+        # The temporary was freed: nothing retained past stage exit.
+        assert entry.total_net_bytes < MB
+
+    def test_retained_output_counts_as_net(self, profiler):
+        keep = []
+        with allocation_tracker() as tracker:
+            with profiler.stage("producer"):
+                keep.append(np.zeros(MB))
+        entry = tracker.stats()["producer"]
+        assert entry.total_net_bytes >= 8 * MB
+        assert entry.peak_bytes >= 8 * MB
+
+    def test_nested_stages_attribute_to_both_frames(self, profiler):
+        with allocation_tracker() as tracker:
+            with profiler.stage("outer"):
+                a = np.zeros(MB)  # 8 MB, alive across the inner stage
+                with profiler.stage("inner"):
+                    b = np.zeros(MB // 2)  # 4 MB temporary
+                    del b
+                del a
+        report = tracker.report()
+        # Inner sees only its own 4 MB (outer's 8 MB existed at entry).
+        assert 4 * MB <= report["inner"]["peak_bytes"] < 5 * MB
+        # Outer's peak includes its own 8 MB plus the inner child's 4 MB.
+        assert report["outer"]["peak_bytes"] >= 12 * MB
+
+    def test_mismatched_exit_is_dropped(self):
+        tracker = AllocationTracker()
+        with allocation_tracker(tracker):
+            tracker.stage_exit("never-entered")
+        assert tracker.stats() == {}
+
+    def test_reset_clears_stats(self, profiler):
+        with allocation_tracker() as tracker:
+            with profiler.stage("hog"):
+                np.zeros(MB)
+        assert tracker.stats()
+        tracker.reset()
+        assert tracker.stats() == {}
+
+
+class TestBudgets:
+    def _stats(self, profiler):
+        with allocation_tracker() as tracker:
+            with profiler.stage("hog"):
+                scratch = np.zeros(MB)
+                del scratch
+            with profiler.stage("lean"):
+                small = np.zeros(100)
+                del small
+        return tracker.stats()
+
+    def test_within_budget_passes(self, profiler):
+        stats = self._stats(profiler)
+        assert check_budgets(stats, {"hog": 64 * MB, "lean": MB}) == []
+
+    def test_violation_reported_with_ratio(self, profiler):
+        stats = self._stats(profiler)
+        violations = check_budgets(stats, {"hog": MB, "lean": MB})
+        assert [v.stage for v in violations] == ["hog"]
+        v = violations[0]
+        assert v.peak_bytes >= 8 * MB
+        assert v.budget_bytes == MB
+        assert v.ratio > 8.0
+        assert v.calls == 1
+        assert v.to_dict()["stage"] == "hog"
+
+    def test_unbudgeted_and_unmeasured_stages_ignored(self, profiler):
+        stats = self._stats(profiler)
+        # 'hog' carries no budget: not checked. 'ghost' was never
+        # measured: coverage is the alloc oracle suite's concern.
+        assert check_budgets(stats, {"lean": MB, "ghost": 1}) == []
+
+    def test_committed_budget_file_loads(self):
+        path = default_budget_path()
+        assert path.is_file(), "benchmarks/alloc_budgets.json must be committed"
+        budgets = load_budgets()
+        for stage in ("serving.score", "serving.topk", "sampling.walks",
+                      "train.batching", "train.sgd"):
+            assert stage in budgets
+            assert budgets[stage] > 0
+
+
+class TestBitIdentity:
+    @staticmethod
+    def _workload():
+        """A seeded numeric kernel run under profiler stages."""
+        rng = np.random.default_rng(1234)
+        profiler = StageProfiler()
+        with profiler.stage("gen"):
+            a = rng.standard_normal((64, 64))
+            b = rng.standard_normal((64, 64))
+        with profiler.stage("mm"):
+            c = a @ b
+        with profiler.stage("reduce"):
+            scores = np.sort(c.ravel())[-10:]
+        return scores
+
+    def test_tracker_does_not_perturb_numerics(self):
+        baseline = self._workload()
+        with allocation_tracker():
+            tracked = self._workload()
+        np.testing.assert_array_equal(baseline, tracked)
